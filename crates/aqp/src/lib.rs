@@ -1,0 +1,17 @@
+//! Adaptive query processing driver (paper §5.4): data-partitioned
+//! adaptation in the style of Tukwila [15] — execution pauses at slice
+//! boundaries ("split points"), statistics observed so far feed the
+//! re-optimizer, and a new plan may be installed for the next slice,
+//! with CAPS-style state migration [26] carrying window state across.
+//!
+//! Two re-optimization back-ends are provided for the Fig 9 comparison:
+//! the incremental declarative optimizer, and a from-scratch Volcano run
+//! per slice (the paper's "Tukwila's Non-Inc Re-Opt" line). Statistics
+//! can be cumulative (damped blending) or non-cumulative (jump to the
+//! latest observation) for the Fig 10 comparison.
+
+pub mod olap;
+pub mod stream_driver;
+
+pub use olap::{run_partitions, PartitionReport};
+pub use stream_driver::{AqpConfig, AqpDriver, ReoptMode, SliceReport, StatsMode};

@@ -1,0 +1,24 @@
+//! Common result type for the baseline optimizers.
+
+use reopt_common::Cost;
+use reopt_expr::PlanNode;
+
+/// Search-effort metrics, comparable with the declarative optimizer's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselineMetrics {
+    /// Memo groups ("plan table entries", OR nodes) materialized.
+    pub groups_created: u64,
+    /// Alternatives ("AND" nodes) whose local cost was computed.
+    pub alts_costed: u64,
+    /// Alternatives skipped by branch-and-bound before full costing
+    /// (Volcano only).
+    pub alts_pruned: u64,
+}
+
+/// An optimization outcome.
+#[derive(Clone, Debug)]
+pub struct OptResult {
+    pub cost: Cost,
+    pub plan: PlanNode,
+    pub metrics: BaselineMetrics,
+}

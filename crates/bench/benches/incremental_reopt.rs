@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for incremental re-optimization — the
+//! timing substrate behind Figures 5, 6 and 8. Each iteration alternates
+//! a parameter between two values so every `reoptimize` call performs
+//! real propagation work.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reopt_baselines::optimize_volcano;
+use reopt_bench::harness::default_tpch;
+use reopt_core::{IncrementalOptimizer, PruningConfig};
+use reopt_cost::{CostContext, ParamDelta};
+use reopt_expr::{JoinGraph, LeafId};
+use reopt_workloads::{fig5_edge_labels, QueryId};
+
+fn incremental_reopt(c: &mut Criterion) {
+    let (catalog, _db) = default_tpch().generate();
+    let q = QueryId::Q5.build(&catalog);
+    let g = JoinGraph::new(&q);
+    let mut group = c.benchmark_group("incremental_reopt_q5");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    // One series per Figure 5 expression.
+    for (label, edge) in fig5_edge_labels() {
+        group.bench_function(BenchmarkId::new("edge_selectivity", label), |b| {
+            let mut opt = IncrementalOptimizer::new(&catalog, q.clone(), PruningConfig::all());
+            opt.optimize();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let f = if flip { 2.0 } else { 1.0 };
+                opt.reoptimize(&[ParamDelta::EdgeSelectivity(edge, f)]).cost
+            })
+        });
+    }
+    // The Figure 8 change class: Orders scan cost.
+    group.bench_function("orders_scan_cost", |b| {
+        let mut opt = IncrementalOptimizer::new(&catalog, q.clone(), PruningConfig::all());
+        opt.optimize();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let f = if flip { 4.0 } else { 1.0 };
+            opt.reoptimize(&[ParamDelta::LeafScanCost(LeafId(3), f)]).cost
+        })
+    });
+    // Comparator: a full Volcano run on the perturbed parameters.
+    group.bench_function("volcano_from_scratch", |b| {
+        let mut ctx = CostContext::new(&catalog, &q);
+        ctx.apply(&[ParamDelta::EdgeSelectivity(fig5_edge_labels()[2].1, 2.0)]);
+        b.iter(|| optimize_volcano(&q, &g, &mut ctx).cost)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, incremental_reopt);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for initial ("from scratch") optimization
+//! — the timing substrate behind Figures 4 and 7.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reopt_baselines::{optimize_system_r, optimize_volcano};
+use reopt_bench::harness::default_tpch;
+use reopt_core::{IncrementalOptimizer, PruningConfig};
+use reopt_cost::CostContext;
+use reopt_expr::JoinGraph;
+use reopt_workloads::QueryId;
+
+fn initial_optimization(c: &mut Criterion) {
+    let (catalog, _db) = default_tpch().generate();
+    let mut group = c.benchmark_group("initial_opt");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for qid in QueryId::figure4_suite() {
+        let q = qid.build(&catalog);
+        let g = JoinGraph::new(&q);
+        group.bench_with_input(BenchmarkId::new("volcano", qid.name()), &q, |b, q| {
+            b.iter(|| {
+                let mut ctx = CostContext::new(&catalog, q);
+                optimize_volcano(q, &g, &mut ctx).cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("system_r", qid.name()), &q, |b, q| {
+            b.iter(|| {
+                let mut ctx = CostContext::new(&catalog, q);
+                optimize_system_r(q, &g, &mut ctx).cost
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("declarative_all", qid.name()),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let mut opt =
+                        IncrementalOptimizer::new(&catalog, q.clone(), PruningConfig::all());
+                    opt.optimize().cost
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("declarative_evita", qid.name()),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let mut opt = IncrementalOptimizer::new(
+                        &catalog,
+                        q.clone(),
+                        PruningConfig::evita_raced(),
+                    );
+                    opt.optimize().cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, initial_optimization);
+criterion_main!(benches);

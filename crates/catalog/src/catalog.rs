@@ -1,0 +1,146 @@
+//! The catalog: table registry plus a mutable statistics store.
+//!
+//! The statistics store is deliberately separate from the schema: adaptive
+//! query processing (paper §5.4) re-estimates statistics at runtime and
+//! swaps them in between re-optimizations.
+
+use reopt_common::FxHashMap;
+
+use crate::schema::{Table, TableId};
+use crate::stats::TableStats;
+
+/// Table registry + statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: FxHashMap<String, TableId>,
+    stats: Vec<TableStats>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a table built by `make` (which receives the assigned id)
+    /// together with its statistics.
+    pub fn add_table(
+        &mut self,
+        make: impl FnOnce(TableId) -> Table,
+        stats: TableStats,
+    ) -> TableId {
+        let id = TableId(self.tables.len() as u32);
+        let table = make(id);
+        assert_eq!(
+            table.columns.len(),
+            stats.columns.len(),
+            "stats column count must match schema for `{}`",
+            table.name
+        );
+        assert!(
+            self.by_name.insert(table.name.clone(), id).is_none(),
+            "duplicate table name `{}`",
+            table.name
+        );
+        self.tables.push(table);
+        self.stats.push(stats);
+        id
+    }
+
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    pub fn table_by_name(&self, name: &str) -> Option<&Table> {
+        self.by_name.get(name).map(|id| self.table(*id))
+    }
+
+    pub fn stats(&self, id: TableId) -> &TableStats {
+        &self.stats[id.0 as usize]
+    }
+
+    /// Replaces a table's statistics (runtime feedback path).
+    pub fn set_stats(&mut self, id: TableId, stats: TableStats) {
+        assert_eq!(
+            stats.columns.len(),
+            self.table(id).columns.len(),
+            "stats column count must match schema"
+        );
+        self.stats[id.0 as usize] = stats;
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableBuilder;
+    use crate::stats::ColumnStats;
+
+    fn stats(rows: f64, cols: usize) -> TableStats {
+        TableStats {
+            row_count: rows,
+            columns: (0..cols).map(|_| ColumnStats::uniform_key(rows)).collect(),
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        let id = c.add_table(
+            |id| TableBuilder::new("nation").int_col("n_nationkey").build(id),
+            stats(25.0, 1),
+        );
+        assert_eq!(c.table(id).name, "nation");
+        assert_eq!(c.table_by_name("nation").unwrap().id, id);
+        assert!(c.table_by_name("missing").is_none());
+        assert_eq!(c.stats(id).row_count, 25.0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn set_stats_swaps_statistics() {
+        let mut c = Catalog::new();
+        let id = c.add_table(
+            |id| TableBuilder::new("t").int_col("a").build(id),
+            stats(10.0, 1),
+        );
+        c.set_stats(id, stats(99.0, 1));
+        assert_eq!(c.stats(id).row_count, 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table name")]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.add_table(
+            |id| TableBuilder::new("t").int_col("a").build(id),
+            stats(1.0, 1),
+        );
+        c.add_table(
+            |id| TableBuilder::new("t").int_col("a").build(id),
+            stats(1.0, 1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn mismatched_stats_rejected() {
+        let mut c = Catalog::new();
+        c.add_table(
+            |id| TableBuilder::new("t").int_col("a").int_col("b").build(id),
+            stats(1.0, 1),
+        );
+    }
+}

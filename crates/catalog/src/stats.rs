@@ -1,0 +1,179 @@
+//! Per-table / per-column statistics: the "summaries" of paper §2.2.
+
+use crate::datum::Datum;
+use crate::histogram::Histogram;
+
+/// Comparison operators appearing in query predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Statistics for one column.
+#[derive(Clone, Debug)]
+pub struct ColumnStats {
+    /// Number of distinct values (estimate).
+    pub ndv: f64,
+    pub min: i64,
+    pub max: i64,
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Builds stats from raw integer values.
+    pub fn from_values(values: &[i64], buckets: usize) -> ColumnStats {
+        if values.is_empty() {
+            return ColumnStats {
+                ndv: 0.0,
+                min: 0,
+                max: 0,
+                histogram: Some(Histogram::build(std::iter::empty(), 1)),
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        ColumnStats {
+            ndv: sorted.len() as f64,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            histogram: Some(Histogram::build(values.iter().copied(), buckets)),
+        }
+    }
+
+    /// Uniform-assumption stats for a synthetic key column: `count`
+    /// distinct values over `[0, count)`.
+    pub fn uniform_key(count: f64) -> ColumnStats {
+        let hi = (count as i64 - 1).max(0);
+        ColumnStats {
+            ndv: count.max(1.0),
+            min: 0,
+            max: hi,
+            histogram: None,
+        }
+    }
+
+    /// Estimated selectivity of `col <op> literal`.
+    pub fn pred_selectivity(&self, op: CmpOp, lit: &Datum) -> f64 {
+        let v = match lit {
+            Datum::Int(v) => *v,
+            // String predicates are estimated via NDV only.
+            Datum::Str(_) => {
+                return match op {
+                    CmpOp::Eq => 1.0 / self.ndv.max(1.0),
+                    CmpOp::Ne => 1.0 - 1.0 / self.ndv.max(1.0),
+                    _ => 1.0 / 3.0,
+                };
+            }
+            Datum::Double(d) => *d as i64,
+        };
+        match (&self.histogram, op) {
+            (Some(h), CmpOp::Eq) => h.selectivity_eq(v),
+            (Some(h), CmpOp::Ne) => 1.0 - h.selectivity_eq(v),
+            (Some(h), CmpOp::Lt) => h.selectivity_lt(v),
+            (Some(h), CmpOp::Le) => h.selectivity_lt(v) + h.selectivity_eq(v),
+            (Some(h), CmpOp::Gt) => h.selectivity_gt(v),
+            (Some(h), CmpOp::Ge) => h.selectivity_gt(v) + h.selectivity_eq(v),
+            (None, op) => self.uniform_selectivity(op, v),
+        }
+    }
+
+    fn uniform_selectivity(&self, op: CmpOp, v: i64) -> f64 {
+        let span = (self.max - self.min) as f64 + 1.0;
+        let frac_lt = (((v - self.min) as f64) / span).clamp(0.0, 1.0);
+        let frac_eq = (1.0 / span).min(1.0);
+        match op {
+            CmpOp::Eq => {
+                if v < self.min || v > self.max {
+                    0.0
+                } else {
+                    1.0 / self.ndv.max(1.0)
+                }
+            }
+            CmpOp::Ne => 1.0 - 1.0 / self.ndv.max(1.0),
+            CmpOp::Lt => frac_lt,
+            CmpOp::Le => (frac_lt + frac_eq).min(1.0),
+            CmpOp::Gt => (1.0 - frac_lt - frac_eq).clamp(0.0, 1.0),
+            CmpOp::Ge => (1.0 - frac_lt).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Classic equi-join selectivity: `1 / max(ndv_l, ndv_r)` (System R),
+    /// refined by histogram overlap when both sides have histograms.
+    pub fn join_selectivity(&self, other: &ColumnStats) -> f64 {
+        match (&self.histogram, &other.histogram) {
+            (Some(a), Some(b)) => a.join_selectivity(b),
+            _ => 1.0 / self.ndv.max(other.ndv).max(1.0),
+        }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Clone, Debug)]
+pub struct TableStats {
+    pub row_count: f64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    pub fn col(&self, col: u32) -> &ColumnStats {
+        &self.columns[col as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_computes_ndv_and_bounds() {
+        let s = ColumnStats::from_values(&[3, 1, 4, 1, 5, 9, 2, 6], 4);
+        assert_eq!(s.ndv, 7.0);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn uniform_key_selectivities() {
+        let s = ColumnStats::uniform_key(1000.0);
+        assert!((s.pred_selectivity(CmpOp::Eq, &Datum::Int(5)) - 0.001).abs() < 1e-9);
+        let lt = s.pred_selectivity(CmpOp::Lt, &Datum::Int(500));
+        assert!((lt - 0.5).abs() < 0.01);
+        let ge = s.pred_selectivity(CmpOp::Ge, &Datum::Int(500));
+        assert!((lt + ge - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn string_eq_uses_ndv() {
+        let mut s = ColumnStats::uniform_key(5.0);
+        s.histogram = None;
+        let sel = s.pred_selectivity(CmpOp::Eq, &Datum::str("MACHINERY"));
+        assert!((sel - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_selectivity_prefers_histograms() {
+        let a = ColumnStats::from_values(&(0..100).collect::<Vec<_>>(), 10);
+        let b = ColumnStats::from_values(&(0..100).collect::<Vec<_>>(), 10);
+        let s = a.join_selectivity(&b);
+        assert!((s - 0.01).abs() < 0.005, "got {s}");
+    }
+
+    #[test]
+    fn join_selectivity_fallback_uses_max_ndv() {
+        let a = ColumnStats::uniform_key(10.0);
+        let b = ColumnStats::uniform_key(40.0);
+        assert!((a.join_selectivity(&b) - 1.0 / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_column_stats_do_not_panic() {
+        let s = ColumnStats::from_values(&[], 4);
+        assert_eq!(s.pred_selectivity(CmpOp::Eq, &Datum::Int(3)), 0.0);
+    }
+}

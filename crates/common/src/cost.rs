@@ -1,0 +1,223 @@
+//! A totally-ordered, non-NaN cost value.
+//!
+//! Optimizer state (the `PlanCost` priority queues of §4.1, the `Bound`
+//! relation of §3.3) is sorted and compared by cost, so we need `Ord`,
+//! which `f64` does not provide. [`Cost`] is an `f64` that is guaranteed
+//! never to hold NaN; every constructor normalizes NaN to `+inf`
+//! ("unknown cost" and "unreachable plan" coincide for an optimizer).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A plan cost: finite non-negative in practice, `Cost::INFINITY` for
+/// "no plan known".
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Cost(f64);
+
+impl Cost {
+    pub const ZERO: Cost = Cost(0.0);
+    pub const INFINITY: Cost = Cost(f64::INFINITY);
+
+    /// Creates a cost, normalizing NaN to `+inf`.
+    #[inline]
+    pub fn new(v: f64) -> Cost {
+        if v.is_nan() {
+            Cost(f64::INFINITY)
+        } else {
+            Cost(v)
+        }
+    }
+
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    #[inline]
+    pub fn min(self, other: Cost) -> Cost {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    #[inline]
+    pub fn max(self, other: Cost) -> Cost {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Relative-tolerance equality, used when cross-checking independent
+    /// optimizer implementations that accumulate floating point in
+    /// different orders.
+    pub fn approx_eq(self, other: Cost) -> bool {
+        if self.0 == other.0 {
+            return true;
+        }
+        let scale = self.0.abs().max(other.0.abs()).max(1e-12);
+        (self.0 - other.0).abs() / scale < 1e-9
+    }
+}
+
+impl Eq for Cost {}
+
+impl PartialOrd for Cost {
+    #[inline]
+    fn partial_cmp(&self, other: &Cost) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    #[inline]
+    fn cmp(&self, other: &Cost) -> Ordering {
+        // Safe: NaN is excluded by construction.
+        self.0.partial_cmp(&other.0).expect("Cost is never NaN")
+    }
+}
+
+impl std::hash::Hash for Cost {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // -0.0 and 0.0 compare equal; normalize so Hash agrees with Eq.
+        let v = if self.0 == 0.0 { 0.0f64 } else { self.0 };
+        v.to_bits().hash(state);
+    }
+}
+
+impl From<f64> for Cost {
+    #[inline]
+    fn from(v: f64) -> Cost {
+        Cost::new(v)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    #[inline]
+    fn add(self, rhs: Cost) -> Cost {
+        Cost::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    #[inline]
+    fn sub(self, rhs: Cost) -> Cost {
+        // inf - inf would be NaN; `new` maps it back to inf, which is the
+        // right "unknown bound" semantics for the r1/r2 bound rules.
+        Cost::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Cost {
+    type Output = Cost;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cost {
+        Cost::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Cost {
+    type Output = Cost;
+    #[inline]
+    fn div(self, rhs: f64) -> Cost {
+        Cost::new(self.0 / rhs)
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{:.6}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_is_normalized_to_infinity() {
+        assert_eq!(Cost::new(f64::NAN), Cost::INFINITY);
+        assert_eq!(Cost::INFINITY - Cost::INFINITY, Cost::INFINITY);
+    }
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![Cost::new(3.0), Cost::INFINITY, Cost::ZERO, Cost::new(1.5)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Cost::ZERO, Cost::new(1.5), Cost::new(3.0), Cost::INFINITY]
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Cost::new(1.0).min(Cost::new(2.0)), Cost::new(1.0));
+        assert_eq!(Cost::new(1.0).max(Cost::INFINITY), Cost::INFINITY);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cost::new(1.0) + Cost::new(2.0), Cost::new(3.0));
+        assert_eq!(Cost::new(5.0) - Cost::new(2.0), Cost::new(3.0));
+        assert_eq!(Cost::new(2.0) * 3.0, Cost::new(6.0));
+        let s: Cost = [Cost::new(1.0), Cost::new(2.0)].into_iter().sum();
+        assert_eq!(s, Cost::new(3.0));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_fp_noise() {
+        let a = Cost::new(0.1 + 0.2);
+        let b = Cost::new(0.3);
+        assert!(a.approx_eq(b));
+        assert!(!Cost::new(1.0).approx_eq(Cost::new(1.1)));
+        assert!(Cost::INFINITY.approx_eq(Cost::INFINITY));
+    }
+
+    #[test]
+    fn zero_hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |c: Cost| {
+            let mut s = DefaultHasher::new();
+            c.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(Cost::new(0.0)), h(Cost::new(-0.0)));
+    }
+}

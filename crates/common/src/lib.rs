@@ -1,0 +1,12 @@
+//! Shared primitives for the incremental re-optimization workspace.
+//!
+//! This crate intentionally stays tiny: a totally-ordered [`Cost`] type
+//! (optimizer state is keyed and sorted by cost, so `f64`'s partial order
+//! is not acceptable), and a fast non-cryptographic hasher for the
+//! id-keyed maps that dominate the optimizer's inner loops.
+
+pub mod cost;
+pub mod hash;
+
+pub use cost::Cost;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -1,0 +1,146 @@
+//! Introspection: render the optimizer's live state in the paper's own
+//! vocabulary — the `SearchSpace` relation of Table 1 and a per-group
+//! `BestCost`/`Bound` summary — for debugging and for the examples.
+
+use std::fmt::Write;
+
+use crate::memo::GroupId;
+use crate::optimizer::IncrementalOptimizer;
+
+impl IncrementalOptimizer {
+    /// Renders the live `SearchSpace` relation in the shape of the
+    /// paper's Table 1: one row per live alternative with its
+    /// expression, property, operator, and child references.
+    pub fn explain_search_space(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<18} {:<6} {:<22} {:<26} {:<26}",
+            "Expr", "Prop", "LogOp", "PhyOp", "lExpr/lProp", "rExpr/rProp"
+        );
+        for gi in 0..self.memo().n_groups() as u32 {
+            let g = GroupId(gi);
+            if !self.group_state(g).live {
+                continue;
+            }
+            let def = self.memo().group(g);
+            for a in self.memo().alts_of(g) {
+                if !self.alt_state(a).live {
+                    continue;
+                }
+                let alt = self.memo().alt(a);
+                let side = |c: Option<crate::memo::GroupId>| match c {
+                    None => "–".to_string(),
+                    Some(c) => {
+                        let d = self.memo().group(c);
+                        format!("{} {}", d.expr.rel, d.prop)
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:<18} {:<6} {:<22} {:<26} {:<26}",
+                    format!("{}{}", def.expr.rel, if def.expr.agg { "+agg" } else { "" }),
+                    def.prop.to_string(),
+                    alt.op.logical_name(),
+                    alt.op.to_string(),
+                    side(alt.left),
+                    side(alt.right),
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders per-group `BestCost` / `Bound` / refcount state (the
+    /// paper's Figure 2 annotations).
+    pub fn explain_groups(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<18} {:>6} {:>12} {:>12} {:>5} {:>5}",
+            "Expr", "Prop", "live", "BestCost", "Bound", "refs", "alts"
+        );
+        for gi in 0..self.memo().n_groups() as u32 {
+            let g = GroupId(gi);
+            let def = self.memo().group(g);
+            let s = self.group_state(g);
+            let live_alts = self
+                .memo()
+                .alts_of(g)
+                .filter(|a| self.alt_state(*a).live)
+                .count();
+            let _ = writeln!(
+                out,
+                "{:<14} {:<18} {:>6} {:>12} {:>12} {:>5} {:>5}",
+                format!("{}{}", def.expr.rel, if def.expr.agg { "+agg" } else { "" }),
+                def.prop.to_string(),
+                if s.live { "yes" } else { "DEAD" },
+                format!("{}", s.best),
+                format!("{}", s.bound),
+                s.refs,
+                format!("{}/{}", live_alts, self.memo().alts_of(g).count()),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::PruningConfig;
+    use crate::fixtures::{chain_query, fixture_catalog};
+    use crate::optimizer::IncrementalOptimizer;
+
+    #[test]
+    fn search_space_rendering_matches_table1_shape() {
+        let c = fixture_catalog();
+        let q = chain_query(&c, 3);
+        let mut opt = IncrementalOptimizer::new(&c, q, PruningConfig::all());
+        let out = opt.optimize();
+        let table = opt.explain_search_space();
+        // Header columns from Table 1.
+        assert!(table.contains("Expr"));
+        assert!(table.contains("PhyOp"));
+        // With full pruning, the live alternatives collapse to the
+        // optimal tree's (plus any exact cost ties): one data row per
+        // plan node, modulo ties.
+        let rows = table.lines().count() - 1;
+        assert!(
+            rows >= out.plan.size() && rows <= out.plan.size() + 3,
+            "{rows} live rows vs plan size {}",
+            out.plan.size()
+        );
+        // Scan rows carry the paper's `–` placeholders.
+        assert!(table.contains("–"));
+    }
+
+    #[test]
+    fn group_rendering_reports_dead_state() {
+        let c = fixture_catalog();
+        let q = chain_query(&c, 3);
+        let mut opt = IncrementalOptimizer::new(&c, q, PruningConfig::all());
+        opt.optimize();
+        let table = opt.explain_groups();
+        assert!(table.contains("DEAD"), "no reclaimed groups rendered");
+        assert!(table.contains("BestCost"));
+        // Every memo group appears.
+        assert_eq!(table.lines().count() - 1, opt.memo().n_groups());
+    }
+
+    #[test]
+    fn evita_raced_renders_more_live_rows() {
+        let c = fixture_catalog();
+        let q = chain_query(&c, 3);
+        let mut all = IncrementalOptimizer::new(&c, q.clone(), PruningConfig::all());
+        all.optimize();
+        let mut er = IncrementalOptimizer::new(&c, q, PruningConfig::evita_raced());
+        er.optimize();
+        // Evita-Raced keeps every group live; its SearchSpace view keeps
+        // at least as many rows.
+        assert!(
+            er.explain_search_space().lines().count()
+                >= all.explain_search_space().lines().count()
+        );
+        assert!(!er.explain_groups().contains("DEAD"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Small synthetic catalogs and queries shared by this crate's unit
+//! tests and property tests. (The realistic TPC-H / Linear Road suite
+//! lives in `reopt-workloads`; keeping these here avoids a dependency
+//! cycle, since `reopt-workloads` sits above this crate.)
+
+use reopt_catalog::{Catalog, CmpOp, ColumnStats, Datum, TableBuilder, TableStats};
+use reopt_expr::{AggFunc, AggSpec, LeafCol, QuerySpec};
+
+/// Eight tables `t0..t7` with varied cardinalities; even-numbered tables
+/// are indexed on `a`, `t1` is clustered on `a`.
+pub fn fixture_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let rows = [100.0, 2_000.0, 50.0, 40_000.0, 500.0, 10.0, 8_000.0, 300.0];
+    for (i, &r) in rows.iter().enumerate() {
+        let name = format!("t{i}");
+        c.add_table(
+            |id| {
+                let mut b = TableBuilder::new(&name).int_col("a").int_col("b").int_col("c");
+                if i % 2 == 0 {
+                    b = b.index_on("a");
+                }
+                if i == 1 {
+                    b = b.clustered_on("a");
+                }
+                b.build(id)
+            },
+            TableStats {
+                row_count: r,
+                columns: vec![ColumnStats::uniform_key(r); 3],
+            },
+        );
+    }
+    c
+}
+
+/// Chain query `t0 ⋈ t1 ⋈ … ⋈ t{n-1}` joining `b = a`.
+pub fn chain_query(c: &Catalog, n: usize) -> QuerySpec {
+    assert!(n <= 8);
+    let mut b = QuerySpec::builder(format!("chain{n}"));
+    let leaves: Vec<_> = (0..n).map(|i| b.leaf(c, &format!("t{i}"))).collect();
+    for w in leaves.windows(2) {
+        b.join(c, w[0], "b", w[1], "a");
+    }
+    b.build()
+}
+
+/// Chain query with a filter on the last leaf and a group-by aggregate —
+/// exercises interesting orders and the aggregate root.
+pub fn agg_chain_query(c: &Catalog, n: usize) -> QuerySpec {
+    let mut b = QuerySpec::builder(format!("aggchain{n}"));
+    let leaves: Vec<_> = (0..n).map(|i| b.leaf(c, &format!("t{i}"))).collect();
+    for w in leaves.windows(2) {
+        b.join(c, w[0], "b", w[1], "a");
+    }
+    b.filter(
+        c,
+        *leaves.last().unwrap(),
+        "c",
+        CmpOp::Lt,
+        Datum::Int((c.stats(reopt_catalog::TableId(n as u32 - 1)).row_count / 2.0) as i64),
+    );
+    b.aggregate(AggSpec {
+        group_by: vec![LeafCol::new(0, 0)],
+        aggs: vec![AggFunc::CountStar, AggFunc::Sum(LeafCol::new(n as u32 - 1, 2))],
+    });
+    b.build()
+}
+
+/// A cyclic join graph (4-cycle) — exercises multiple parents per group,
+/// the interesting case for reference counting and bounds.
+pub fn cycle_query(c: &Catalog) -> QuerySpec {
+    let mut b = QuerySpec::builder("cycle4");
+    let l: Vec<_> = (0..4).map(|i| b.leaf(c, &format!("t{i}"))).collect();
+    b.join(c, l[0], "b", l[1], "a");
+    b.join(c, l[1], "b", l[2], "a");
+    b.join(c, l[2], "b", l[3], "a");
+    b.join(c, l[3], "b", l[0], "a");
+    b.build()
+}
+
+/// Star query: `t3` (fact) joined to three dimensions.
+pub fn star_query(c: &Catalog) -> QuerySpec {
+    let mut b = QuerySpec::builder("star");
+    let f = b.leaf(c, "t3");
+    let d: Vec<_> = [0, 2, 5]
+        .iter()
+        .map(|&i| b.leaf(c, &format!("t{i}")))
+        .collect();
+    b.join(c, f, "a", d[0], "a");
+    b.join(c, f, "b", d[1], "a");
+    b.join(c, f, "c", d[2], "a");
+    b.build()
+}

@@ -1,0 +1,215 @@
+//! Fixpoint invariant checking — used throughout the test suite to make
+//! sure every converged state is internally consistent, whatever the
+//! update sequence and pruning configuration.
+
+use reopt_common::Cost;
+
+use crate::memo::{AltId, GroupId};
+use crate::optimizer::IncrementalOptimizer;
+use crate::state::le_with_slack;
+
+impl IncrementalOptimizer {
+    /// Checks all state invariants at a (supposed) fixpoint. Returns a
+    /// description of the first violation, if any.
+    pub fn check_invariants(&mut self) -> Result<(), String> {
+        self.check_refcounts()?;
+        self.check_costs()?;
+        self.check_liveness()?;
+        self.check_bounds()?;
+        Ok(())
+    }
+
+    /// §3.2: a group's reference count equals the number of live parent
+    /// alternatives in live groups (plus the root pin); with source
+    /// suppression off, every parent alternative keeps its reference.
+    fn check_refcounts(&mut self) -> Result<(), String> {
+        let suppression = self.config().source_suppression;
+        for gi in 0..self.memo().n_groups() as u32 {
+            let g = GroupId(gi);
+            let mut expected: u32 = 0;
+            for &pa in self.memo().parents_of(g) {
+                let pg = self.memo().alt(pa).group;
+                let counts = if suppression {
+                    self.group_state(pg).live && self.alt_state(pa).live
+                } else {
+                    true
+                };
+                if counts {
+                    expected += 1;
+                }
+            }
+            if g == self.memo().root {
+                expected += 1;
+            }
+            let got = self.group_state(g).refs;
+            if got != expected {
+                return Err(format!(
+                    "refcount mismatch on {g:?}: stored {got}, recomputed {expected}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// R6–R9: live, non-frozen alternatives have exact local and total
+    /// costs, and the group best is their minimum.
+    fn check_costs(&mut self) -> Result<(), String> {
+        let q = self.query().clone();
+        for gi in 0..self.memo().n_groups() as u32 {
+            let g = GroupId(gi);
+            if !self.group_state(g).live {
+                continue;
+            }
+            let (expr, prop) = {
+                let d = self.memo().group(g);
+                (d.expr, d.prop)
+            };
+            let mut best = Cost::INFINITY;
+            let alts: Vec<AltId> = self.memo().alts_of(g).collect();
+            for a in alts {
+                let frozen = {
+                    let alt = self.memo().alt(a);
+                    let dead: Vec<bool> = alt
+                        .children()
+                        .map(|c| !self.group_state(c).live)
+                        .collect();
+                    dead.iter().any(|&d| d)
+                };
+                if frozen {
+                    // Frozen alternatives contribute their stale stored
+                    // totals to the aggregate (the retained queue).
+                    best = best.min(self.alt_state(a).total);
+                    continue;
+                }
+                let spec = self.memo().alt(a).spec;
+                let expect_local = self.recompute_local(&q, g, &spec);
+                let got_local = self.alt_state(a).local;
+                if got_local != expect_local {
+                    return Err(format!(
+                        "stale local cost on alt {a:?} of {expr:?}/{prop}: {got_local:?} vs {expect_local:?}"
+                    ));
+                }
+                let mut expect_total = expect_local;
+                for c in self.memo().alt(a).children().collect::<Vec<_>>() {
+                    expect_total += self.group_state(c).best;
+                }
+                let got_total = self.alt_state(a).total;
+                if got_total != expect_total {
+                    return Err(format!(
+                        "stale total on alt {a:?} of {expr:?}/{prop}: {got_total:?} vs {expect_total:?}"
+                    ));
+                }
+                best = best.min(expect_total);
+            }
+            if self.group_state(g).best != best {
+                return Err(format!(
+                    "best mismatch on {g:?}: stored {:?}, recomputed {best:?}",
+                    self.group_state(g).best
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// §3.1/§3.3: alternative liveness agrees with the suppression
+    /// threshold; frozen alternatives are never live.
+    fn check_liveness(&mut self) -> Result<(), String> {
+        if !self.config().aggregate_selection {
+            return Ok(());
+        }
+        for gi in 0..self.memo().n_groups() as u32 {
+            let g = GroupId(gi);
+            if !self.group_state(g).live {
+                continue;
+            }
+            let threshold = if self.config().recursive_bounding {
+                self.group_state(g).bound
+            } else {
+                self.group_state(g).best
+            };
+            let alts: Vec<AltId> = self.memo().alts_of(g).collect();
+            for a in alts {
+                let frozen = self
+                    .memo()
+                    .alt(a)
+                    .children()
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .any(|c| !self.group_state(*c).live);
+                let live = self.alt_state(a).live;
+                if frozen {
+                    if live {
+                        return Err(format!("frozen alternative {a:?} is live"));
+                    }
+                    continue;
+                }
+                let should = le_with_slack(self.alt_state(a).total, threshold);
+                if live != should {
+                    return Err(format!(
+                        "liveness mismatch on alt {a:?}: live={live}, total={:?}, threshold={threshold:?}",
+                        self.alt_state(a).total
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// r1–r4: bound values are consistent with parents and bests.
+    fn check_bounds(&mut self) -> Result<(), String> {
+        if !self.config().recursive_bounding {
+            return Ok(());
+        }
+        for gi in 0..self.memo().n_groups() as u32 {
+            let g = GroupId(gi);
+            if !self.group_state(g).live {
+                continue;
+            }
+            let expect_mpb = self.recompute_mpb(g);
+            let got = self.group_state(g).mpb;
+            if got != expect_mpb {
+                return Err(format!(
+                    "mpb mismatch on {g:?}: stored {got:?}, recomputed {expect_mpb:?}"
+                ));
+            }
+            let expect_bound = self.group_state(g).best.min(expect_mpb);
+            if self.group_state(g).bound != expect_bound {
+                return Err(format!(
+                    "bound mismatch on {g:?}: stored {:?}, recomputed {expect_bound:?}",
+                    self.group_state(g).bound
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn recompute_mpb(&self, g: GroupId) -> Cost {
+        if g == self.memo().root {
+            return Cost::INFINITY;
+        }
+        let mut any = false;
+        let mut m = Cost::ZERO;
+        for &pa in self.memo().parents_of(g) {
+            let pg = self.memo().alt(pa).group;
+            if !self.group_state(pg).live || !self.alt_state(pa).live {
+                continue;
+            }
+            let sibling_best = self
+                .memo()
+                .alt(pa)
+                .sibling(g)
+                .map_or(Cost::ZERO, |s| self.group_state(s).best);
+            let allowance =
+                self.group_state(pg).bound - sibling_best - self.alt_state(pa).local;
+            if !any || allowance > m {
+                m = allowance;
+                any = true;
+            }
+        }
+        if any {
+            m.max(Cost::ZERO)
+        } else {
+            Cost::INFINITY
+        }
+    }
+}

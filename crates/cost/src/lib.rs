@@ -1,0 +1,12 @@
+//! Cost model substrate: the paper's external functions
+//! `Fn_scansummary`, `Fn_nonscansummary` (cardinality summaries),
+//! `Fn_scancost`, `Fn_nonscancost` (operator costs) and `Fn_sum`
+//! (paper §2.2), plus the runtime-updatable cost parameters whose
+//! *deltas* drive incremental re-optimization (paper §4).
+
+pub mod context;
+pub mod params;
+
+pub use context::CostContext;
+pub use params::Factors;
+pub use params::{AffectedSet, ParamDelta, UnitCosts};

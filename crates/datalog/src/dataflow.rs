@@ -1,0 +1,375 @@
+//! The dataflow graph and its fixpoint scheduler.
+//!
+//! A [`Dataflow`] is a directed graph of operators which may contain
+//! cycles (recursive rules). Execution is queue-driven and pipelined:
+//! deltas are processed one at a time in FIFO order, with no
+//! synchronization barriers between "strata" — matching the paper's
+//! execution strategy (§2.3: "we leverage a pipelined push-based query
+//! processor to execute the rules in an incremental fashion ... without
+//! synchronization or blocking").
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::delta::Delta;
+use crate::ops::Operator;
+use crate::relation::Multiset;
+use crate::value::Tuple;
+
+/// Node handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// Sink handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SinkId(usize);
+
+enum NodeKind {
+    /// External input: forwards pushed deltas downstream.
+    Input,
+    Op(Box<dyn Operator>),
+    /// Materialization point; contents readable via [`Dataflow::sink`].
+    Sink(usize),
+}
+
+struct Node {
+    kind: NodeKind,
+    /// Downstream edges: `(target node, target port)`.
+    downstream: Vec<(usize, usize)>,
+    label: String,
+}
+
+/// Execution statistics for one fixpoint run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Deltas dequeued and processed.
+    pub deltas_processed: u64,
+    /// Deltas emitted by operators.
+    pub deltas_emitted: u64,
+}
+
+/// Error: the fixpoint did not converge within the step budget (a
+/// non-terminating recursion, e.g. counting-based deletion over cyclic
+/// derivations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixpointOverrun {
+    pub steps: u64,
+}
+
+impl fmt::Display for FixpointOverrun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fixpoint did not converge within {} steps", self.steps)
+    }
+}
+
+impl std::error::Error for FixpointOverrun {}
+
+/// A (possibly cyclic) dataflow of delta-processing operators.
+pub struct Dataflow {
+    nodes: Vec<Node>,
+    sinks: Vec<Multiset>,
+    queue: VecDeque<(usize, usize, Delta)>,
+    max_steps: u64,
+}
+
+impl Default for Dataflow {
+    fn default() -> Dataflow {
+        Dataflow::new()
+    }
+}
+
+impl Dataflow {
+    pub fn new() -> Dataflow {
+        Dataflow {
+            nodes: Vec::new(),
+            sinks: Vec::new(),
+            queue: VecDeque::new(),
+            max_steps: 50_000_000,
+        }
+    }
+
+    /// Overrides the non-termination guard.
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.max_steps = max;
+    }
+
+    /// Declares an external input relation.
+    pub fn add_input(&mut self, label: &str) -> NodeId {
+        self.push_node(NodeKind::Input, label)
+    }
+
+    /// Adds an operator wired so that `inputs[i]` feeds port `i`.
+    pub fn add_op(&mut self, op: impl Operator + 'static, inputs: &[NodeId]) -> NodeId {
+        assert_eq!(
+            op.arity(),
+            inputs.len(),
+            "operator `{}` expects {} inputs",
+            op.name(),
+            op.arity()
+        );
+        let label = op.name().to_string();
+        let id = self.push_node(NodeKind::Op(Box::new(op)), &label);
+        for (port, input) in inputs.iter().enumerate() {
+            self.connect(*input, id, port);
+        }
+        id
+    }
+
+    /// Adds an operator with *no* inputs wired yet — used to build cycles
+    /// (connect the back-edge afterwards with [`Dataflow::connect`]).
+    pub fn add_op_unwired(&mut self, op: impl Operator + 'static) -> NodeId {
+        let label = op.name().to_string();
+        self.push_node(NodeKind::Op(Box::new(op)), &label)
+    }
+
+    /// Wires `from`'s output into `to`'s input `port`. Cycles are
+    /// allowed.
+    pub fn connect(&mut self, from: NodeId, to: NodeId, port: usize) {
+        self.nodes[from.0].downstream.push((to.0, port));
+    }
+
+    /// Adds a materialization sink reading `from`.
+    pub fn add_sink(&mut self, from: NodeId) -> SinkId {
+        let sink_idx = self.sinks.len();
+        self.sinks.push(Multiset::new());
+        let id = self.push_node(NodeKind::Sink(sink_idx), "sink");
+        self.connect(from, id, 0);
+        SinkId(sink_idx)
+    }
+
+    fn push_node(&mut self, kind: NodeKind, label: &str) -> NodeId {
+        self.nodes.push(Node {
+            kind,
+            downstream: Vec::new(),
+            label: label.to_string(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Queues a delta on an input relation (processed by the next
+    /// [`Dataflow::run`]).
+    pub fn push(&mut self, input: NodeId, delta: Delta) {
+        assert!(
+            matches!(self.nodes[input.0].kind, NodeKind::Input),
+            "push target `{}` is not an input",
+            self.nodes[input.0].label
+        );
+        self.queue.push_back((input.0, 0, delta));
+    }
+
+    pub fn insert(&mut self, input: NodeId, tuple: Tuple) {
+        self.push(input, Delta::insert(tuple));
+    }
+
+    pub fn delete(&mut self, input: NodeId, tuple: Tuple) {
+        self.push(input, Delta::delete(tuple));
+    }
+
+    /// Runs to fixpoint (empty queue).
+    pub fn run(&mut self) -> Result<RunStats, FixpointOverrun> {
+        let mut stats = RunStats::default();
+        let mut out = Vec::new();
+        while let Some((node, port, delta)) = self.queue.pop_front() {
+            stats.deltas_processed += 1;
+            if stats.deltas_processed > self.max_steps {
+                return Err(FixpointOverrun {
+                    steps: self.max_steps,
+                });
+            }
+            out.clear();
+            match &mut self.nodes[node].kind {
+                NodeKind::Input => out.push(delta),
+                NodeKind::Op(op) => op.on_delta(port, &delta, &mut out),
+                NodeKind::Sink(idx) => {
+                    self.sinks[*idx].apply(&delta);
+                    continue;
+                }
+            }
+            stats.deltas_emitted += out.len() as u64;
+            for d in out.drain(..) {
+                for &(target, tport) in &self.nodes[node].downstream {
+                    self.queue.push_back((target, tport, d.clone()));
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Reads a sink's current contents.
+    pub fn sink(&self, id: SinkId) -> &Multiset {
+        &self.sinks[id.0]
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggKind;
+    use crate::ops::{Distinct, GroupAgg, HashJoin, Map, Union};
+    use crate::value::ints;
+
+    #[test]
+    fn linear_pipeline_filter_project() {
+        let mut df = Dataflow::new();
+        let input = df.add_input("r");
+        let filtered = df.add_op(Map::filter(|t| t.get(0).as_int() % 2 == 0), &[input]);
+        let projected = df.add_op(Map::project(vec![1]), &[filtered]);
+        let sink = df.add_sink(projected);
+        for i in 0..6 {
+            df.insert(input, ints(&[i, i * 10]));
+        }
+        df.run().unwrap();
+        assert_eq!(
+            df.sink(sink).sorted(),
+            vec![ints(&[0]), ints(&[20]), ints(&[40])]
+        );
+    }
+
+    #[test]
+    fn incremental_join_matches_naive_semantics() {
+        let mut df = Dataflow::new();
+        let r = df.add_input("r");
+        let s = df.add_input("s");
+        let j = df.add_op(HashJoin::new(vec![0], vec![0]), &[r, s]);
+        let sink = df.add_sink(j);
+        df.insert(r, ints(&[1, 10]));
+        df.insert(s, ints(&[1, 100]));
+        df.insert(s, ints(&[2, 200]));
+        df.run().unwrap();
+        assert_eq!(df.sink(sink).sorted(), vec![ints(&[1, 10, 1, 100])]);
+        // Add a matching left tuple for key 2; retract the key-1 right.
+        df.insert(r, ints(&[2, 20]));
+        df.delete(s, ints(&[1, 100]));
+        df.run().unwrap();
+        assert_eq!(df.sink(sink).sorted(), vec![ints(&[2, 20, 2, 200])]);
+    }
+
+    /// Builds the classic transitive-closure program:
+    /// `path(x,y) :- edge(x,y)`,
+    /// `path(x,z) :- path(x,y), edge(y,z)`.
+    fn tc() -> (Dataflow, NodeId, SinkId) {
+        let mut df = Dataflow::new();
+        let edge = df.add_input("edge");
+        let union = df.add_op_unwired(Union::new(2));
+        df.connect(edge, union, 0);
+        let path = df.add_op(Distinct::new(), &[union]);
+        // join path(x,y) [port 0, key col 1=y] with edge(y,z) [port 1,
+        // key col 0=y] -> (x,y,y,z), project (x,z), feed back.
+        let join = df.add_op_unwired(HashJoin::new(vec![1], vec![0]));
+        df.connect(path, join, 0);
+        df.connect(edge, join, 1);
+        let proj = df.add_op(Map::project(vec![0, 3]), &[join]);
+        df.connect(proj, union, 1);
+        let sink = df.add_sink(path);
+        (df, edge, sink)
+    }
+
+    #[test]
+    fn transitive_closure_chain() {
+        let (mut df, edge, sink) = tc();
+        df.insert(edge, ints(&[1, 2]));
+        df.insert(edge, ints(&[2, 3]));
+        df.insert(edge, ints(&[3, 4]));
+        df.run().unwrap();
+        let got = df.sink(sink).sorted();
+        assert_eq!(got.len(), 6); // 12,13,14,23,24,34
+        assert!(got.contains(&ints(&[1, 4])));
+    }
+
+    #[test]
+    fn transitive_closure_incremental_insert() {
+        let (mut df, edge, sink) = tc();
+        df.insert(edge, ints(&[1, 2]));
+        df.insert(edge, ints(&[3, 4]));
+        df.run().unwrap();
+        assert_eq!(df.sink(sink).len(), 2);
+        // Bridging edge triggers recursive derivations.
+        df.insert(edge, ints(&[2, 3]));
+        let stats = df.run().unwrap();
+        assert!(stats.deltas_processed > 0);
+        assert_eq!(df.sink(sink).len(), 6);
+    }
+
+    #[test]
+    fn transitive_closure_incremental_delete_on_dag() {
+        let (mut df, edge, sink) = tc();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (1, 3)] {
+            df.insert(edge, ints(&[a, b]));
+        }
+        df.run().unwrap();
+        assert_eq!(df.sink(sink).len(), 6);
+        // Deleting 2->3 removes path(2,3), path(2,4); but 1->3, 1->4
+        // survive through the 1->3 edge (counting handles the multiple
+        // derivations).
+        df.delete(edge, ints(&[2, 3]));
+        df.run().unwrap();
+        let got = df.sink(sink).sorted();
+        assert_eq!(
+            got,
+            vec![
+                ints(&[1, 2]),
+                ints(&[1, 3]),
+                ints(&[1, 4]),
+                ints(&[3, 4]),
+            ]
+        );
+    }
+
+    #[test]
+    fn cyclic_data_insertions_terminate_via_distinct() {
+        let (mut df, edge, sink) = tc();
+        df.insert(edge, ints(&[1, 2]));
+        df.insert(edge, ints(&[2, 1]));
+        df.run().unwrap();
+        let got = df.sink(sink).sorted();
+        assert_eq!(
+            got,
+            vec![ints(&[1, 1]), ints(&[1, 2]), ints(&[2, 1]), ints(&[2, 2])]
+        );
+    }
+
+    #[test]
+    fn min_view_maintenance_end_to_end() {
+        // min-cost per key, maintained under insert/delete.
+        let mut df = Dataflow::new();
+        let costs = df.add_input("costs");
+        let agg = df.add_op(GroupAgg::new(vec![0], 1, AggKind::Min), &[costs]);
+        let sink = df.add_sink(agg);
+        df.insert(costs, ints(&[1, 30]));
+        df.insert(costs, ints(&[1, 10]));
+        df.insert(costs, ints(&[1, 20]));
+        df.run().unwrap();
+        assert_eq!(df.sink(sink).sorted(), vec![ints(&[1, 10])]);
+        df.delete(costs, ints(&[1, 10]));
+        df.run().unwrap();
+        assert_eq!(df.sink(sink).sorted(), vec![ints(&[1, 20])]);
+    }
+
+    #[test]
+    fn overrun_guard_reports_nontermination() {
+        // A pathological self-amplifying loop: map feeding itself.
+        let mut df = Dataflow::new();
+        let input = df.add_input("r");
+        let echo = df.add_op_unwired(Map::new(|t| Some(t.clone())));
+        df.connect(input, echo, 0);
+        df.connect(echo, echo, 0); // no distinct gate: never terminates
+        df.set_max_steps(10_000);
+        df.insert(input, ints(&[1]));
+        assert!(df.run().is_err());
+    }
+
+    #[test]
+    fn push_to_non_input_panics() {
+        let mut df = Dataflow::new();
+        let input = df.add_input("r");
+        let m = df.add_op(Map::project(vec![0]), &[input]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            df.push(m, Delta::insert(ints(&[1])));
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Delta tuples: changes flowing between operators.
+//!
+//! Following §4 of the paper, "a delta tuple of a relation R may be an
+//! insertion (R[+x]), deletion (R[-x]), or update (R[x→x'])". We encode
+//! insertion/deletion as signed multiplicities (an update is a deletion
+//! plus an insertion, which is how the engine's stateful operators emit
+//! it) — the standard counting encoding of Gupta–Mumick–Subrahmanian.
+
+use crate::value::Tuple;
+
+/// A signed change to a relation's multiset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delta {
+    pub tuple: Tuple,
+    /// Positive = insertions, negative = deletions. Usually ±1, but
+    /// bilinear operators (joins) multiply multiplicities.
+    pub count: i64,
+}
+
+impl Delta {
+    pub fn insert(tuple: Tuple) -> Delta {
+        Delta { tuple, count: 1 }
+    }
+
+    pub fn delete(tuple: Tuple) -> Delta {
+        Delta { tuple, count: -1 }
+    }
+
+    pub fn with_count(tuple: Tuple, count: i64) -> Delta {
+        Delta { tuple, count }
+    }
+
+    pub fn is_insert(&self) -> bool {
+        self.count > 0
+    }
+
+    /// The same change with multiplicity scaled (bilinear operators).
+    pub fn scaled(&self, by: i64) -> Delta {
+        Delta {
+            tuple: self.tuple.clone(),
+            count: self.count * by,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ints;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Delta::insert(ints(&[1])).count, 1);
+        assert_eq!(Delta::delete(ints(&[1])).count, -1);
+        assert!(Delta::insert(ints(&[1])).is_insert());
+        assert!(!Delta::delete(ints(&[1])).is_insert());
+    }
+
+    #[test]
+    fn scaling_multiplies_counts() {
+        let d = Delta::with_count(ints(&[7]), -2);
+        assert_eq!(d.scaled(3).count, -6);
+        assert_eq!(d.scaled(3).tuple, ints(&[7]));
+    }
+}

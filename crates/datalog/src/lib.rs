@@ -1,0 +1,34 @@
+//! A pipelined, delta-processing dataflow engine for recursive datalog —
+//! the substrate the paper runs its declarative optimizer on (the ASPEN
+//! engine of [18], extended per §4: "instead of processing standard
+//! tuples, each operator in the query processor must be extended to
+//! process delta tuples encoding changes").
+//!
+//! Key reproduced mechanics:
+//! - **Delta tuples** with signed multiplicities; insertions increment a
+//!   per-tuple count, deletions decrement it, and "counts may temporarily
+//!   become negative if a deletion is processed out of order with its
+//!   corresponding insertion" (§4) — a tuple affects downstream state
+//!   only while its count is positive.
+//! - **Incremental joins** following the delta rules of Gupta et al.
+//!   [14]: a delta on one input joins the other input's current state.
+//! - **Min/max aggregation with next-best recovery** (§4.1): the
+//!   aggregate retains *all* input values in an ordered multiset so that
+//!   deleting the current minimum emits an update to the
+//!   second-from-minimum.
+//! - **Fixpoint execution over cyclic dataflows** (recursion) driven by a
+//!   work queue, with no constraint on delta arrival order.
+
+pub mod agg;
+pub mod dataflow;
+pub mod delta;
+pub mod ops;
+pub mod relation;
+pub mod value;
+
+pub use agg::{AggKind, OrderedMultiset};
+pub use dataflow::{Dataflow, NodeId, RunStats, SinkId};
+pub use delta::Delta;
+pub use ops::{Distinct, GroupAgg, HashJoin, Map, Operator, Union};
+pub use relation::{IndexedMultiset, Multiset};
+pub use value::{Tuple, Val};

@@ -1,0 +1,349 @@
+//! Dataflow operators. Each consumes delta tuples on its input ports and
+//! emits delta tuples, "largely as if they were standard tuples" (§4):
+//! (1) update internal state, (2) evaluate internal computations,
+//! (3) construct output deltas.
+
+use reopt_common::FxHashMap;
+
+use crate::agg::{AggKind, OrderedMultiset};
+use crate::delta::Delta;
+use crate::relation::{IndexedMultiset, Multiset, Visibility};
+use crate::value::Tuple;
+
+/// A dataflow operator.
+pub trait Operator {
+    /// Processes one input delta arriving on `port`, appending output
+    /// deltas to `out`.
+    fn on_delta(&mut self, port: usize, delta: &Delta, out: &mut Vec<Delta>);
+
+    /// Number of input ports.
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str;
+}
+
+/// The transformation a [`Map`] applies per tuple.
+pub type MapFn = Box<dyn FnMut(&Tuple) -> Option<Tuple>>;
+
+/// Stateless map/filter: applies a function to each tuple; `None` drops
+/// it. Counts pass through unchanged (linear operator).
+pub struct Map {
+    f: MapFn,
+}
+
+impl Map {
+    pub fn new(f: impl FnMut(&Tuple) -> Option<Tuple> + 'static) -> Map {
+        Map { f: Box::new(f) }
+    }
+
+    /// Pure projection of the given columns.
+    pub fn project(cols: Vec<usize>) -> Map {
+        Map::new(move |t| Some(t.project(&cols)))
+    }
+
+    /// Pure filter.
+    pub fn filter(mut pred: impl FnMut(&Tuple) -> bool + 'static) -> Map {
+        Map::new(move |t| pred(t).then(|| t.clone()))
+    }
+}
+
+impl Operator for Map {
+    fn on_delta(&mut self, _port: usize, delta: &Delta, out: &mut Vec<Delta>) {
+        if let Some(t) = (self.f)(&delta.tuple) {
+            out.push(Delta::with_count(t, delta.count));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "map"
+    }
+}
+
+/// Incremental equi-join following the delta rules of [14]: a delta on
+/// one side joins the *current* state of the other side
+/// (`ΔL ⋈ R  ∪  L' ⋈ ΔR`), with multiplicities multiplied (bilinear).
+/// Output tuples are `left ++ right`.
+pub struct HashJoin {
+    left: IndexedMultiset,
+    right: IndexedMultiset,
+}
+
+impl HashJoin {
+    pub fn new(left_key: Vec<usize>, right_key: Vec<usize>) -> HashJoin {
+        assert_eq!(
+            left_key.len(),
+            right_key.len(),
+            "join key arity must match"
+        );
+        HashJoin {
+            left: IndexedMultiset::new(left_key),
+            right: IndexedMultiset::new(right_key),
+        }
+    }
+
+    pub fn state_size(&self) -> usize {
+        self.left.total_tuples() + self.right.total_tuples()
+    }
+}
+
+impl Operator for HashJoin {
+    fn on_delta(&mut self, port: usize, delta: &Delta, out: &mut Vec<Delta>) {
+        match port {
+            0 => {
+                self.left.apply(delta);
+                let key = self.left.key_of(&delta.tuple);
+                for (rt, rc) in self.right.matches(&key) {
+                    out.push(Delta::with_count(
+                        delta.tuple.concat(rt),
+                        delta.count * rc,
+                    ));
+                }
+            }
+            1 => {
+                self.right.apply(delta);
+                let key = self.right.key_of(&delta.tuple);
+                for (lt, lc) in self.left.matches(&key) {
+                    out.push(Delta::with_count(
+                        lt.concat(&delta.tuple),
+                        delta.count * lc,
+                    ));
+                }
+            }
+            p => panic!("join has 2 ports, got {p}"),
+        }
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "join"
+    }
+}
+
+/// Grouped aggregation with internal ordered-multiset state per group
+/// (the §4.1 "priority queue"). Emits set-semantics deltas: on an
+/// aggregate change, `-old_result` then `+new_result`, i.e. the paper's
+/// update delta `R[x→x']`.
+pub struct GroupAgg {
+    key_cols: Vec<usize>,
+    value_col: usize,
+    kind: AggKind,
+    groups: FxHashMap<Tuple, OrderedMultiset>,
+}
+
+impl GroupAgg {
+    pub fn new(key_cols: Vec<usize>, value_col: usize, kind: AggKind) -> GroupAgg {
+        GroupAgg {
+            key_cols,
+            value_col,
+            kind,
+            groups: FxHashMap::default(),
+        }
+    }
+
+    /// Read access to a group's ordered state (used by tests asserting
+    /// next-best retention).
+    pub fn group_state(&self, key: &Tuple) -> Option<&OrderedMultiset> {
+        self.groups.get(key)
+    }
+}
+
+impl Operator for GroupAgg {
+    fn on_delta(&mut self, _port: usize, delta: &Delta, out: &mut Vec<Delta>) {
+        let key = delta.tuple.project(&self.key_cols);
+        let value = delta.tuple.get(self.value_col).clone();
+        let group = self.groups.entry(key.clone()).or_default();
+        let old = group.aggregate(self.kind);
+        group.update(value, delta.count);
+        let new = group.aggregate(self.kind);
+        if old == new {
+            return;
+        }
+        if let Some(old) = old {
+            let mut vals: Vec<_> = key.0.to_vec();
+            vals.push(old);
+            out.push(Delta::delete(Tuple::new(vals)));
+        }
+        if let Some(new) = new {
+            let mut vals: Vec<_> = key.0.to_vec();
+            vals.push(new);
+            out.push(Delta::insert(Tuple::new(vals)));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "group-agg"
+    }
+}
+
+/// Set-semantics gate: emits +1 when a tuple's derivation count becomes
+/// positive and −1 when it returns to zero. This is what makes recursive
+/// rules terminate and what implements [14]'s counting algorithm for
+/// deletions.
+#[derive(Default)]
+pub struct Distinct {
+    state: Multiset,
+}
+
+impl Distinct {
+    pub fn new() -> Distinct {
+        Distinct::default()
+    }
+
+    pub fn state(&self) -> &Multiset {
+        &self.state
+    }
+}
+
+impl Operator for Distinct {
+    fn on_delta(&mut self, _port: usize, delta: &Delta, out: &mut Vec<Delta>) {
+        match self.state.apply(delta) {
+            Visibility::Appeared => out.push(Delta::insert(delta.tuple.clone())),
+            Visibility::Disappeared => out.push(Delta::delete(delta.tuple.clone())),
+            Visibility::Unchanged => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "distinct"
+    }
+}
+
+/// N-ary union: forwards deltas from any port unchanged.
+pub struct Union {
+    arity: usize,
+}
+
+impl Union {
+    pub fn new(arity: usize) -> Union {
+        Union { arity }
+    }
+}
+
+impl Operator for Union {
+    fn on_delta(&mut self, port: usize, delta: &Delta, out: &mut Vec<Delta>) {
+        assert!(port < self.arity, "union port {port} out of range");
+        out.push(delta.clone());
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn name(&self) -> &'static str {
+        "union"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ints, Val};
+
+    fn run(op: &mut dyn Operator, port: usize, d: Delta) -> Vec<Delta> {
+        let mut out = Vec::new();
+        op.on_delta(port, &d, &mut out);
+        out
+    }
+
+    #[test]
+    fn map_projects_and_preserves_counts() {
+        let mut m = Map::project(vec![1]);
+        let out = run(&mut m, 0, Delta::with_count(ints(&[1, 2]), -3));
+        assert_eq!(out, vec![Delta::with_count(ints(&[2]), -3)]);
+    }
+
+    #[test]
+    fn filter_drops_non_matching() {
+        let mut m = Map::filter(|t| t.get(0).as_int() > 5);
+        assert!(run(&mut m, 0, Delta::insert(ints(&[3]))).is_empty());
+        assert_eq!(run(&mut m, 0, Delta::insert(ints(&[7]))).len(), 1);
+    }
+
+    #[test]
+    fn join_emits_matches_both_directions() {
+        let mut j = HashJoin::new(vec![0], vec![0]);
+        assert!(run(&mut j, 0, Delta::insert(ints(&[1, 10]))).is_empty());
+        let out = run(&mut j, 1, Delta::insert(ints(&[1, 20])));
+        assert_eq!(out, vec![Delta::insert(ints(&[1, 10, 1, 20]))]);
+        // Another left tuple joins the existing right tuple.
+        let out = run(&mut j, 0, Delta::insert(ints(&[1, 11])));
+        assert_eq!(out, vec![Delta::insert(ints(&[1, 11, 1, 20]))]);
+        // Deleting the right tuple retracts both join results.
+        let out = run(&mut j, 1, Delta::delete(ints(&[1, 20])));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.count == -1));
+    }
+
+    #[test]
+    fn join_multiplicities_multiply() {
+        let mut j = HashJoin::new(vec![0], vec![0]);
+        run(&mut j, 0, Delta::with_count(ints(&[1, 10]), 2));
+        let out = run(&mut j, 1, Delta::with_count(ints(&[1, 20]), 3));
+        assert_eq!(out[0].count, 6);
+    }
+
+    #[test]
+    fn min_agg_emits_update_on_new_minimum() {
+        let mut a = GroupAgg::new(vec![0], 1, AggKind::Min);
+        let out = run(&mut a, 0, Delta::insert(ints(&[1, 10])));
+        assert_eq!(out, vec![Delta::insert(ints(&[1, 10]))]);
+        // Higher value: no output change.
+        assert!(run(&mut a, 0, Delta::insert(ints(&[1, 30]))).is_empty());
+        // Lower value: update (delete old, insert new).
+        let out = run(&mut a, 0, Delta::insert(ints(&[1, 5])));
+        assert_eq!(
+            out,
+            vec![Delta::delete(ints(&[1, 10])), Delta::insert(ints(&[1, 5]))]
+        );
+        // Deleting the minimum recovers the next-best (10, not 30).
+        let out = run(&mut a, 0, Delta::delete(ints(&[1, 5])));
+        assert_eq!(
+            out,
+            vec![Delta::delete(ints(&[1, 5])), Delta::insert(ints(&[1, 10]))]
+        );
+    }
+
+    #[test]
+    fn min_agg_groups_are_independent() {
+        let mut a = GroupAgg::new(vec![0], 1, AggKind::Min);
+        run(&mut a, 0, Delta::insert(ints(&[1, 10])));
+        let out = run(&mut a, 0, Delta::insert(ints(&[2, 3])));
+        assert_eq!(out, vec![Delta::insert(ints(&[2, 3]))]);
+        assert_eq!(
+            a.group_state(&ints(&[1])).unwrap().min(),
+            Some(&Val::Int(10))
+        );
+    }
+
+    #[test]
+    fn count_agg_tracks_group_size() {
+        let mut a = GroupAgg::new(vec![0], 1, AggKind::Count);
+        let out = run(&mut a, 0, Delta::insert(ints(&[1, 99])));
+        assert_eq!(out.last().unwrap().tuple, ints(&[1, 1]));
+        let out = run(&mut a, 0, Delta::insert(ints(&[1, 98])));
+        assert_eq!(out.last().unwrap().tuple, ints(&[1, 2]));
+        let out = run(&mut a, 0, Delta::delete(ints(&[1, 99])));
+        assert_eq!(out.last().unwrap().tuple, ints(&[1, 1]));
+    }
+
+    #[test]
+    fn distinct_gates_duplicates() {
+        let mut d = Distinct::new();
+        assert_eq!(run(&mut d, 0, Delta::insert(ints(&[1]))).len(), 1);
+        assert!(run(&mut d, 0, Delta::insert(ints(&[1]))).is_empty());
+        assert!(run(&mut d, 0, Delta::delete(ints(&[1]))).is_empty());
+        let out = run(&mut d, 0, Delta::delete(ints(&[1])));
+        assert_eq!(out, vec![Delta::delete(ints(&[1]))]);
+    }
+
+    #[test]
+    fn union_passes_through() {
+        let mut u = Union::new(2);
+        assert_eq!(run(&mut u, 1, Delta::insert(ints(&[4]))).len(), 1);
+    }
+}

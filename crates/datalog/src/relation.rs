@@ -1,0 +1,195 @@
+//! Materialized relation state: multisets with (possibly transiently
+//! negative) counts, and key-indexed variants for joins.
+//!
+//! Paper §4: "for stateful operators, we maintain for each encountered
+//! tuple value a (possibly temporarily negative) count ... A tuple only
+//! affects the output of a stateful operator if its count is positive."
+
+use reopt_common::FxHashMap;
+
+use crate::delta::Delta;
+use crate::value::Tuple;
+
+/// A counted multiset of tuples.
+#[derive(Clone, Debug, Default)]
+pub struct Multiset {
+    counts: FxHashMap<Tuple, i64>,
+}
+
+/// How applying a delta changed a tuple's *visibility* (positivity of its
+/// count) — the unit of downstream propagation for set-semantics
+/// operators such as `Distinct`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Visibility {
+    /// Count went from ≤ 0 to > 0.
+    Appeared,
+    /// Count went from > 0 to ≤ 0.
+    Disappeared,
+    /// No change in positivity.
+    Unchanged,
+}
+
+impl Multiset {
+    pub fn new() -> Multiset {
+        Multiset::default()
+    }
+
+    /// Applies a delta, returning the visibility transition.
+    pub fn apply(&mut self, delta: &Delta) -> Visibility {
+        let entry = self.counts.entry(delta.tuple.clone()).or_insert(0);
+        let before = *entry > 0;
+        *entry += delta.count;
+        let after = *entry > 0;
+        if *entry == 0 {
+            self.counts.remove(&delta.tuple);
+        }
+        match (before, after) {
+            (false, true) => Visibility::Appeared,
+            (true, false) => Visibility::Disappeared,
+            _ => Visibility::Unchanged,
+        }
+    }
+
+    pub fn count(&self, tuple: &Tuple) -> i64 {
+        self.counts.get(tuple).copied().unwrap_or(0)
+    }
+
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.count(tuple) > 0
+    }
+
+    /// Iterates tuples with positive counts.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.counts.iter().filter(|(_, &c)| c > 0).map(|(t, &c)| (t, c))
+    }
+
+    /// Number of distinct visible tuples.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if any count is negative (an out-of-order deletion is in
+    /// flight; fixpoints must end with none).
+    pub fn has_negative_counts(&self) -> bool {
+        self.counts.values().any(|&c| c < 0)
+    }
+
+    /// Visible tuples, sorted (deterministic test output).
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.iter().map(|(t, _)| t.clone()).collect();
+        v.sort();
+        v
+    }
+}
+
+/// A multiset indexed by a key projection — join-side state.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedMultiset {
+    key_cols: Vec<usize>,
+    by_key: FxHashMap<Tuple, FxHashMap<Tuple, i64>>,
+}
+
+impl IndexedMultiset {
+    pub fn new(key_cols: Vec<usize>) -> IndexedMultiset {
+        IndexedMultiset {
+            key_cols,
+            by_key: FxHashMap::default(),
+        }
+    }
+
+    pub fn key_of(&self, tuple: &Tuple) -> Tuple {
+        tuple.project(&self.key_cols)
+    }
+
+    /// Applies a delta to the indexed state.
+    pub fn apply(&mut self, delta: &Delta) {
+        let key = self.key_of(&delta.tuple);
+        let group = self.by_key.entry(key.clone()).or_default();
+        let entry = group.entry(delta.tuple.clone()).or_insert(0);
+        *entry += delta.count;
+        if *entry == 0 {
+            group.remove(&delta.tuple);
+            if group.is_empty() {
+                self.by_key.remove(&key);
+            }
+        }
+    }
+
+    /// Matching tuples (with counts, including transiently negative
+    /// ones — the bilinear join form needs raw counts).
+    pub fn matches(&self, key: &Tuple) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.by_key
+            .get(key)
+            .into_iter()
+            .flat_map(|g| g.iter().map(|(t, &c)| (t, c)))
+    }
+
+    pub fn total_tuples(&self) -> usize {
+        self.by_key.values().map(|g| g.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ints;
+
+    #[test]
+    fn visibility_transitions() {
+        let mut m = Multiset::new();
+        let t = ints(&[1]);
+        assert_eq!(m.apply(&Delta::insert(t.clone())), Visibility::Appeared);
+        assert_eq!(m.apply(&Delta::insert(t.clone())), Visibility::Unchanged);
+        assert_eq!(m.apply(&Delta::delete(t.clone())), Visibility::Unchanged);
+        assert_eq!(m.apply(&Delta::delete(t.clone())), Visibility::Disappeared);
+        assert_eq!(m.count(&t), 0);
+    }
+
+    #[test]
+    fn out_of_order_deletion_goes_negative_then_converges() {
+        let mut m = Multiset::new();
+        let t = ints(&[5]);
+        assert_eq!(m.apply(&Delta::delete(t.clone())), Visibility::Unchanged);
+        assert!(m.has_negative_counts());
+        assert!(!m.contains(&t));
+        assert_eq!(m.apply(&Delta::insert(t.clone())), Visibility::Unchanged);
+        assert!(!m.has_negative_counts());
+        assert_eq!(m.count(&t), 0);
+    }
+
+    #[test]
+    fn iter_skips_invisible() {
+        let mut m = Multiset::new();
+        m.apply(&Delta::insert(ints(&[1])));
+        m.apply(&Delta::delete(ints(&[2]))); // negative count
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.sorted(), vec![ints(&[1])]);
+    }
+
+    #[test]
+    fn indexed_multiset_matches_by_key() {
+        let mut m = IndexedMultiset::new(vec![0]);
+        m.apply(&Delta::insert(ints(&[1, 10])));
+        m.apply(&Delta::insert(ints(&[1, 11])));
+        m.apply(&Delta::insert(ints(&[2, 20])));
+        let matches: Vec<i64> = m
+            .matches(&ints(&[1]))
+            .map(|(t, _)| t.get(1).as_int())
+            .collect();
+        assert_eq!(matches.len(), 2);
+        assert!(matches.contains(&10) && matches.contains(&11));
+        assert_eq!(m.matches(&ints(&[3])).count(), 0);
+    }
+
+    #[test]
+    fn indexed_multiset_cleans_up_empty_groups() {
+        let mut m = IndexedMultiset::new(vec![0]);
+        m.apply(&Delta::insert(ints(&[1, 10])));
+        m.apply(&Delta::delete(ints(&[1, 10])));
+        assert_eq!(m.total_tuples(), 0);
+    }
+}

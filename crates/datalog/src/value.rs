@@ -1,0 +1,158 @@
+//! Tuples and values flowing through the dataflow engine.
+
+use std::fmt;
+use std::sync::Arc;
+
+use reopt_common::Cost;
+
+/// A single value. Totally ordered and hashable (required by join keys
+/// and min/max aggregation).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Val {
+    Int(i64),
+    Str(Arc<str>),
+    /// Totally-ordered float (plan costs in the optimizer-as-datalog
+    /// encoding).
+    Cost(Cost),
+}
+
+impl Val {
+    pub fn str(s: &str) -> Val {
+        Val::Str(Arc::from(s))
+    }
+
+    pub fn cost(v: f64) -> Val {
+        Val::Cost(Cost::new(v))
+    }
+
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Val::Int(v) => *v,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    pub fn as_cost(&self) -> Cost {
+        match self {
+            Val::Cost(c) => *c,
+            Val::Int(v) => Cost::new(*v as f64),
+            other => panic!("expected Cost, got {other:?}"),
+        }
+    }
+}
+
+impl From<i64> for Val {
+    fn from(v: i64) -> Val {
+        Val::Int(v)
+    }
+}
+
+impl From<Cost> for Val {
+    fn from(c: Cost) -> Val {
+        Val::Cost(c)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(v) => write!(f, "{v}"),
+            Val::Str(s) => write!(f, "{s}"),
+            Val::Cost(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A tuple: an immutable, cheaply clonable value sequence.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(pub Arc<[Val]>);
+
+impl Tuple {
+    pub fn new(vals: Vec<Val>) -> Tuple {
+        Tuple(vals.into())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> &Val {
+        &self.0[i]
+    }
+
+    /// Projects the given column indexes into a new tuple.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Concatenates two tuples (join output).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut vals = Vec::with_capacity(self.len() + other.len());
+        vals.extend_from_slice(&self.0);
+        vals.extend_from_slice(&other.0);
+        Tuple::new(vals)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience constructor: `tup![1, "x", 3]`-style building is verbose
+/// without a macro; this free function keeps call sites short.
+pub fn tup<const N: usize>(vals: [Val; N]) -> Tuple {
+    Tuple::new(vals.to_vec())
+}
+
+/// Integer tuple shorthand for tests and examples.
+pub fn ints(vals: &[i64]) -> Tuple {
+    Tuple::new(vals.iter().map(|&v| Val::Int(v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_projection_and_concat() {
+        let t = ints(&[10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), ints(&[30, 10]));
+        assert_eq!(t.concat(&ints(&[40])), ints(&[10, 20, 30, 40]));
+    }
+
+    #[test]
+    fn val_ordering() {
+        assert!(Val::Int(1) < Val::Int(2));
+        assert!(Val::cost(1.0) < Val::cost(2.0));
+        assert!(Val::str("a") < Val::str("b"));
+    }
+
+    #[test]
+    fn val_accessors() {
+        assert_eq!(Val::Int(3).as_int(), 3);
+        assert_eq!(Val::cost(2.5).as_cost().value(), 2.5);
+        assert_eq!(Val::Int(2).as_cost().value(), 2.0);
+    }
+
+    #[test]
+    fn tuples_hash_and_compare_structurally() {
+        use reopt_common::FxHashSet;
+        let mut s = FxHashSet::default();
+        s.insert(ints(&[1, 2]));
+        assert!(s.contains(&ints(&[1, 2])));
+        assert!(!s.contains(&ints(&[2, 1])));
+    }
+}

@@ -1,0 +1,177 @@
+//! Runtime feedback: turning observed cardinalities into cost-parameter
+//! deltas for the re-optimizer (the §5.2.2 loop: "we re-optimized given
+//! the cumulatively observed statistics").
+
+use reopt_common::FxHashSet;
+use reopt_cost::{CostContext, ParamDelta};
+use reopt_expr::{EdgeId, ExprId, LeafId, QuerySpec};
+
+use crate::executor::ExecStats;
+
+/// Derives parameter deltas from observed cardinalities.
+///
+/// Leaf discrepancies become `LeafCardinality` factors. Join
+/// discrepancies are attributed to the edges *completed* at the smallest
+/// observed expression containing them, splitting the ratio evenly when
+/// one node completes several edges (the standard mid-query
+/// re-estimation heuristic).
+pub fn observed_deltas(
+    q: &QuerySpec,
+    ctx: &CostContext,
+    stats: &ExecStats,
+    damping: f64,
+) -> Vec<ParamDelta> {
+    let mut scratch = ctx.clone();
+    let mut out = Vec::new();
+    // Leaves first.
+    for leaf in 0..q.n_leaves() {
+        let l = LeafId(leaf);
+        let expr = ExprId::rel(reopt_expr::RelSet::singleton(leaf));
+        let Some(obs) = stats.rows_of(expr) else {
+            continue;
+        };
+        let est = scratch.leaf_out_rows(l).max(1e-9);
+        let current = scratch.factors().leaf_card(l);
+        let raw = (obs.max(1e-3) / est) * current;
+        let factor = damped(current, raw, damping);
+        if (factor / current - 1.0).abs() > 1e-6 {
+            out.push(ParamDelta::LeafCardinality(l, factor));
+        }
+    }
+    scratch.apply(&out);
+    // Joins, ascending by expression size.
+    let mut observed: Vec<(ExprId, f64)> = stats
+        .rows
+        .iter()
+        .filter(|(e, _)| !e.agg && e.rel.len() >= 2)
+        .map(|(e, r)| (*e, *r))
+        .collect();
+    observed.sort_by_key(|(e, _)| e.rel.len());
+    let mut attributed: FxHashSet<EdgeId> = FxHashSet::default();
+    for (expr, obs) in observed {
+        let new_edges: Vec<EdgeId> = q
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                e.rels().is_subset_of(expr.rel) && !attributed.contains(&EdgeId(*i as u32))
+            })
+            .map(|(i, _)| EdgeId(i as u32))
+            .collect();
+        if new_edges.is_empty() {
+            continue;
+        }
+        let est = scratch.rows(q, expr.rel).max(1e-9);
+        let ratio = (obs.max(1e-3) / est).powf(1.0 / new_edges.len() as f64);
+        let mut batch = Vec::new();
+        for e in new_edges {
+            attributed.insert(e);
+            let current = scratch.factors().edge_sel(e);
+            let factor = damped(current, current * ratio, damping);
+            if (factor / current - 1.0).abs() > 1e-6 {
+                batch.push(ParamDelta::EdgeSelectivity(e, factor));
+            }
+        }
+        scratch.apply(&batch);
+        out.extend(batch);
+    }
+    out
+}
+
+/// Exponential damping between the current and the raw new factor:
+/// `damping = 1` jumps straight to the observation (non-cumulative mode),
+/// smaller values blend (cumulative mode of Fig 10).
+fn damped(current: f64, raw: f64, damping: f64) -> f64 {
+    let clamped = raw.clamp(1e-3, 1e3);
+    if damping >= 1.0 {
+        clamped
+    } else {
+        current * (clamped / current).powf(damping.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_catalog::{Catalog, ColumnStats, TableBuilder, TableStats};
+    use reopt_expr::RelSet;
+
+    fn fixture() -> (Catalog, QuerySpec) {
+        let mut c = Catalog::new();
+        for (name, rows) in [("r", 100.0), ("s", 1000.0)] {
+            c.add_table(
+                |id| TableBuilder::new(name).int_col("k").int_col("v").build(id),
+                TableStats {
+                    row_count: rows,
+                    columns: vec![ColumnStats::uniform_key(rows); 2],
+                },
+            );
+        }
+        let mut b = QuerySpec::builder("q");
+        let r = b.leaf(&c, "r");
+        let s = b.leaf(&c, "s");
+        b.join(&c, r, "k", s, "k");
+        (c, b.build())
+    }
+
+    #[test]
+    fn leaf_discrepancy_becomes_cardinality_factor() {
+        let (c, q) = fixture();
+        let ctx = CostContext::new(&c, &q);
+        let mut stats = ExecStats::default();
+        stats.rows.insert(ExprId::rel(RelSet::singleton(0)), 400.0); // 4× estimate
+        let deltas = observed_deltas(&q, &ctx, &stats, 1.0);
+        assert_eq!(deltas.len(), 1);
+        match deltas[0] {
+            ParamDelta::LeafCardinality(l, f) => {
+                assert_eq!(l, LeafId(0));
+                assert!((f - 4.0).abs() < 1e-6, "factor {f}");
+            }
+            other => panic!("unexpected delta {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_discrepancy_becomes_edge_factor() {
+        let (c, q) = fixture();
+        let mut ctx = CostContext::new(&c, &q);
+        let est = ctx.rows(&q, RelSet(0b11));
+        let mut stats = ExecStats::default();
+        stats.rows.insert(ExprId::rel(RelSet(0b11)), est * 8.0);
+        let deltas = observed_deltas(&q, &ctx, &stats, 1.0);
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, ParamDelta::EdgeSelectivity(EdgeId(0), f) if (f - 8.0).abs() < 0.01)));
+    }
+
+    #[test]
+    fn accurate_estimates_produce_no_deltas() {
+        let (c, q) = fixture();
+        let mut ctx = CostContext::new(&c, &q);
+        let mut stats = ExecStats::default();
+        stats
+            .rows
+            .insert(ExprId::rel(RelSet::singleton(0)), ctx.leaf_out_rows(LeafId(0)));
+        stats
+            .rows
+            .insert(ExprId::rel(RelSet(0b11)), ctx.rows(&q, RelSet(0b11)));
+        let deltas = observed_deltas(&q, &ctx, &stats, 1.0);
+        assert!(deltas.is_empty(), "{deltas:?}");
+    }
+
+    #[test]
+    fn damping_blends_toward_observation() {
+        let (c, q) = fixture();
+        let ctx = CostContext::new(&c, &q);
+        let mut stats = ExecStats::default();
+        stats.rows.insert(ExprId::rel(RelSet::singleton(0)), 400.0);
+        let full = observed_deltas(&q, &ctx, &stats, 1.0);
+        let half = observed_deltas(&q, &ctx, &stats, 0.5);
+        let f = |d: &ParamDelta| match d {
+            ParamDelta::LeafCardinality(_, f) => *f,
+            _ => unreachable!(),
+        };
+        assert!((f(&full[0]) - 4.0).abs() < 1e-6);
+        assert!((f(&half[0]) - 2.0).abs() < 1e-6); // sqrt(4) via pow(0.5)
+    }
+}

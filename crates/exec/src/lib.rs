@@ -1,0 +1,21 @@
+//! Pipelined execution engine for stored and streaming data — the
+//! substrate the paper's adaptive experiments run on ("a basic pipelined
+//! query engine for stream and stored data", §1).
+//!
+//! The engine interprets the physical plan trees produced by the
+//! optimizers, collects actual cardinalities as it runs (the runtime
+//! feedback that drives re-optimization, §5.2.2), and provides the
+//! sliding-window state management needed by the Linear Road workload
+//! (§5.4): time windows, tuple windows, and partitioned tuple windows.
+
+pub mod database;
+pub mod executor;
+pub mod feedback;
+pub mod layout;
+pub mod stream;
+
+pub use database::{Database, TableData};
+pub use executor::{ExecStats, Executor};
+pub use feedback::observed_deltas;
+pub use layout::Layout;
+pub use stream::{SliceResult, StreamExecutor, StreamTuple};

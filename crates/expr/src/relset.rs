@@ -1,0 +1,198 @@
+//! Logical expressions as bitmasks over query leaves.
+//!
+//! The paper's `Expr` values — `(C)`, `(OL)`, `(COL)` in Figure 2 — are
+//! sets of base relations; equivalence under join commutativity and
+//! associativity collapses to set equality, which is why every modern
+//! optimizer (and this one) keys its memo by a leaf bitmask.
+
+use std::fmt;
+
+/// A set of query leaves, at most 32 (far above the paper's largest
+/// query, the 8-way `Q8Join`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelSet(pub u32);
+
+impl RelSet {
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// The singleton set `{leaf}`.
+    #[inline]
+    pub fn singleton(leaf: u32) -> RelSet {
+        debug_assert!(leaf < 32);
+        RelSet(1 << leaf)
+    }
+
+    /// The full set `{0..n}`.
+    #[inline]
+    pub fn full(n: u32) -> RelSet {
+        debug_assert!(n <= 32);
+        if n == 32 {
+            RelSet(u32::MAX)
+        } else {
+            RelSet((1u32 << n) - 1)
+        }
+    }
+
+    #[inline]
+    pub fn contains(self, leaf: u32) -> bool {
+        self.0 & (1 << leaf) != 0
+    }
+
+    #[inline]
+    pub fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    #[inline]
+    pub fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    #[inline]
+    pub fn minus(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & !other.0)
+    }
+
+    #[inline]
+    pub fn is_subset_of(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True iff this is a single leaf (the paper's `Fn_isleaf`).
+    #[inline]
+    pub fn is_singleton(self) -> bool {
+        self.0 != 0 && self.0 & (self.0 - 1) == 0
+    }
+
+    /// The single leaf index; panics unless `is_singleton`.
+    #[inline]
+    pub fn leaf(self) -> u32 {
+        assert!(self.is_singleton(), "leaf() on non-singleton {self:?}");
+        self.0.trailing_zeros()
+    }
+
+    /// Iterates the leaf indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let leaf = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(leaf)
+            }
+        })
+    }
+
+    /// Iterates all *proper, non-empty* submasks of this set. Each
+    /// unordered split `{s, self \ s}` is visited twice (once per side),
+    /// which is exactly what asymmetric physical operators need
+    /// (paper §2.1: "exchanging the left and right child would become a
+    /// different physical plan").
+    pub fn proper_subsets(self) -> impl Iterator<Item = RelSet> {
+        let full = self.0;
+        let mut sub = full & full.wrapping_sub(1); // largest proper submask
+        std::iter::from_fn(move || {
+            if sub == 0 {
+                None
+            } else {
+                let cur = sub;
+                sub = (sub - 1) & full;
+                Some(RelSet(cur))
+            }
+        })
+    }
+}
+
+// Small macro so Debug and Display share the implementation without a
+// helper function polluting the namespace.
+macro_rules! fmt_relset {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{{")?;
+            for (i, leaf) in self.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{leaf}")?;
+            }
+            write!(f, "}}")
+        }
+    };
+}
+
+impl fmt::Debug for RelSet {
+    fmt_relset!();
+}
+
+impl fmt::Display for RelSet {
+    fmt_relset!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_full() {
+        assert_eq!(RelSet::singleton(3).0, 0b1000);
+        assert_eq!(RelSet::full(4).0, 0b1111);
+        assert_eq!(RelSet::full(32).0, u32::MAX);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RelSet(0b1010);
+        let b = RelSet(0b0110);
+        assert_eq!(a.union(b), RelSet(0b1110));
+        assert_eq!(a.intersect(b), RelSet(0b0010));
+        assert_eq!(a.minus(b), RelSet(0b1000));
+        assert!(RelSet(0b0010).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn singleton_detection() {
+        assert!(RelSet(0b0100).is_singleton());
+        assert!(!RelSet(0b0110).is_singleton());
+        assert!(!RelSet::EMPTY.is_singleton());
+        assert_eq!(RelSet(0b0100).leaf(), 2);
+    }
+
+    #[test]
+    fn iteration_order() {
+        let leaves: Vec<u32> = RelSet(0b10110).iter().collect();
+        assert_eq!(leaves, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn proper_subsets_enumerates_both_sides_of_each_split() {
+        let s = RelSet(0b111);
+        let subs: Vec<u32> = s.proper_subsets().map(|r| r.0).collect();
+        assert_eq!(subs.len(), 6); // 2^3 - 2
+        for sub in &subs {
+            assert!(subs.contains(&(0b111 & !sub)), "complement of {sub:b}");
+        }
+    }
+
+    #[test]
+    fn proper_subsets_of_singleton_is_empty() {
+        assert_eq!(RelSet::singleton(0).proper_subsets().count(), 0);
+    }
+
+    #[test]
+    fn display_lists_leaves() {
+        assert_eq!(format!("{}", RelSet(0b101)), "{0,2}");
+    }
+}

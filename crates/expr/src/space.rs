@@ -1,0 +1,230 @@
+//! The reachable plan space: the full and-or graph of Figure 2.
+//!
+//! Exploration starts from the root `(expression, Any)` demand and
+//! follows child references of every enumerated alternative — exactly the
+//! set of `SearchSpace` tuples rules R1–R5 derive at fixpoint with no
+//! pruning. Its size is the denominator of the paper's "pruning ratio"
+//! metrics (Figs 4b/4c, 7b/7c).
+
+use std::collections::VecDeque;
+
+use reopt_common::FxHashMap;
+
+use crate::enumerate::{AltSpec, SplitCache};
+use crate::graph::JoinGraph;
+use crate::props::PhysProp;
+use crate::query::{ExprId, QuerySpec};
+
+/// Index of a group within a [`Space`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupIdx(pub u32);
+
+/// One "OR" node: an `(expression, property)` pair with its enumerated
+/// alternatives.
+#[derive(Clone, Debug)]
+pub struct GroupDef {
+    pub expr: ExprId,
+    pub prop: PhysProp,
+    pub alts: Vec<AltSpec>,
+}
+
+/// The reachable and-or graph.
+#[derive(Clone, Debug)]
+pub struct Space {
+    pub groups: Vec<GroupDef>,
+    index: FxHashMap<(ExprId, PhysProp), GroupIdx>,
+    /// Group indexes in bottom-up (children before parents) order.
+    topo: Vec<GroupIdx>,
+    root: GroupIdx,
+}
+
+impl Space {
+    /// Explores the full space from the query root.
+    pub fn explore(q: &QuerySpec, g: &JoinGraph) -> Space {
+        let mut cache = SplitCache::new();
+        let mut groups: Vec<GroupDef> = Vec::new();
+        let mut index: FxHashMap<(ExprId, PhysProp), GroupIdx> = FxHashMap::default();
+        let mut queue = VecDeque::new();
+        let root_key = (q.root_expr(), PhysProp::Any);
+        queue.push_back(root_key);
+        index.insert(root_key, GroupIdx(0));
+        groups.push(GroupDef {
+            expr: root_key.0,
+            prop: root_key.1,
+            alts: Vec::new(),
+        });
+        while let Some((expr, prop)) = queue.pop_front() {
+            let alts = cache.get(q, g, expr, prop).to_vec();
+            for alt in &alts {
+                for child in alt.children() {
+                    let key = (child.expr, child.prop);
+                    if let std::collections::hash_map::Entry::Vacant(e) = index.entry(key) {
+                        let idx = GroupIdx(groups.len() as u32);
+                        e.insert(idx);
+                        groups.push(GroupDef {
+                            expr: key.0,
+                            prop: key.1,
+                            alts: Vec::new(),
+                        });
+                        queue.push_back(key);
+                    }
+                }
+            }
+            let idx = index[&(expr, prop)];
+            groups[idx.0 as usize].alts = alts;
+        }
+        let mut topo: Vec<GroupIdx> = (0..groups.len() as u32).map(GroupIdx).collect();
+        topo.sort_by_key(|i| {
+            let def = &groups[i.0 as usize];
+            (
+                def.expr.rel.len(),
+                def.expr.agg,
+                !matches!(def.prop, PhysProp::Any),
+            )
+        });
+        Space {
+            groups,
+            index,
+            topo,
+            root: GroupIdx(0),
+        }
+    }
+
+    pub fn root(&self) -> GroupIdx {
+        self.root
+    }
+
+    pub fn group(&self, idx: GroupIdx) -> &GroupDef {
+        &self.groups[idx.0 as usize]
+    }
+
+    pub fn lookup(&self, expr: ExprId, prop: PhysProp) -> Option<GroupIdx> {
+        self.index.get(&(expr, prop)).copied()
+    }
+
+    /// Bottom-up order: every alternative's children precede the group
+    /// itself.
+    pub fn topo_order(&self) -> &[GroupIdx] {
+        &self.topo
+    }
+
+    /// Total "OR" node count (plan-table entries).
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total "AND" node count (plan alternatives).
+    pub fn n_alts(&self) -> usize {
+        self.groups.iter().map(|g| g.alts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QuerySpec;
+    use reopt_catalog::{Catalog, ColumnStats, TableBuilder, TableStats};
+
+    fn chain(n: usize) -> (Catalog, QuerySpec) {
+        let mut c = Catalog::new();
+        for i in 0..n {
+            let name = format!("t{i}");
+            c.add_table(
+                |id| {
+                    TableBuilder::new(&name)
+                        .int_col("a")
+                        .int_col("b")
+                        .build(id)
+                },
+                TableStats {
+                    row_count: 100.0,
+                    columns: vec![ColumnStats::uniform_key(100.0); 2],
+                },
+            );
+        }
+        let mut b = QuerySpec::builder("chain");
+        let leaves: Vec<_> = (0..n)
+            .map(|i| b.leaf(&c, &format!("t{i}")))
+            .collect();
+        for w in leaves.windows(2) {
+            b.join(&c, w[0], "b", w[1], "a");
+        }
+        let q = b.build();
+        (c, q)
+    }
+
+    #[test]
+    fn space_covers_all_connected_subsets() {
+        let (_c, q) = chain(3);
+        let g = JoinGraph::new(&q);
+        let space = Space::explore(&q, &g);
+        // Every connected subset appears at least with prop Any.
+        for rel in g.connected_subsets() {
+            assert!(
+                space.lookup(ExprId::rel(rel), PhysProp::Any).is_some(),
+                "missing group for {rel}"
+            );
+        }
+        // Root is the full set.
+        assert_eq!(space.group(space.root()).expr, q.root_expr());
+    }
+
+    #[test]
+    fn topo_order_puts_children_first() {
+        let (_c, q) = chain(4);
+        let g = JoinGraph::new(&q);
+        let space = Space::explore(&q, &g);
+        let pos: FxHashMap<GroupIdx, usize> = space
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (*g, i))
+            .collect();
+        for (gi, def) in space.groups.iter().enumerate() {
+            let gi = GroupIdx(gi as u32);
+            for alt in &def.alts {
+                for child in alt.children() {
+                    let ci = space.lookup(child.expr, child.prop).unwrap();
+                    assert!(
+                        pos[&ci] < pos[&gi],
+                        "child {:?} after parent {:?}",
+                        space.group(ci),
+                        def
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn space_size_grows_with_query_size() {
+        let sizes: Vec<usize> = [2, 3, 4, 5]
+            .iter()
+            .map(|&n| {
+                let (_c, q) = chain(n);
+                let g = JoinGraph::new(&q);
+                Space::explore(&q, &g).n_alts()
+            })
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn every_group_has_alternatives() {
+        // In a reachable space, a group only exists because some parent
+        // demanded it — and every demanded property is satisfiable (the
+        // Sort enforcer guarantees it for Sorted; Indexed is only
+        // demanded where an index exists).
+        let (_c, q) = chain(4);
+        let g = JoinGraph::new(&q);
+        let space = Space::explore(&q, &g);
+        for def in &space.groups {
+            assert!(
+                !def.alts.is_empty(),
+                "group ({:?},{}) has no alternatives",
+                def.expr,
+                def.prop
+            );
+        }
+    }
+}

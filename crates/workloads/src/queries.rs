@@ -1,0 +1,303 @@
+//! The paper's TPC-H query suite (§5, Table 2): Q1, Q3/Q3S, Q5/Q5S, Q6,
+//! Q10, Q8Join/Q8JoinS. The `S` variants drop the aggregate, exactly as
+//! the paper constructs them ("to create greater query diversity, we
+//! modified the … queries by removing aggregation").
+
+use reopt_catalog::{Catalog, CmpOp, Datum};
+use reopt_expr::{AggFunc, AggSpec, EdgeId, LeafCol, QuerySpec};
+
+use crate::tpch::DATE_1995_03_15;
+
+/// Query identifiers used throughout the benchmark harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    Q1,
+    Q3,
+    Q3S,
+    Q5,
+    Q5S,
+    Q6,
+    Q10,
+    Q8Join,
+    Q8JoinS,
+}
+
+impl QueryId {
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Q1",
+            QueryId::Q3 => "Q3",
+            QueryId::Q3S => "Q3S",
+            QueryId::Q5 => "Q5",
+            QueryId::Q5S => "Q5S",
+            QueryId::Q6 => "Q6",
+            QueryId::Q10 => "Q10",
+            QueryId::Q8Join => "Q8Join",
+            QueryId::Q8JoinS => "Q8JoinS",
+        }
+    }
+
+    /// The join-query subset the paper's figures focus on ("we focus our
+    /// presentation on join queries with more than 3-way joins").
+    pub fn figure4_suite() -> [QueryId; 5] {
+        [
+            QueryId::Q5,
+            QueryId::Q5S,
+            QueryId::Q10,
+            QueryId::Q8Join,
+            QueryId::Q8JoinS,
+        ]
+    }
+
+    pub fn build(self, c: &Catalog) -> QuerySpec {
+        match self {
+            QueryId::Q1 => q1(c),
+            QueryId::Q3 => q3(c, true),
+            QueryId::Q3S => q3(c, false),
+            QueryId::Q5 => q5(c, true),
+            QueryId::Q5S => q5(c, false),
+            QueryId::Q6 => q6(c),
+            QueryId::Q10 => q10(c),
+            QueryId::Q8Join => q8join(c, true),
+            QueryId::Q8JoinS => q8join(c, false),
+        }
+    }
+}
+
+/// Q1: aggregation-only over lineitem (shipdate filter, group by
+/// quantity as a stand-in for the flag columns).
+fn q1(c: &Catalog) -> QuerySpec {
+    let mut b = QuerySpec::builder("Q1");
+    let l = b.leaf(c, "lineitem");
+    b.filter(c, l, "l_shipdate", CmpOp::Le, Datum::Int(DATE_1995_03_15));
+    b.aggregate(AggSpec {
+        group_by: vec![lc(c, "lineitem", 0, "l_quantity")],
+        aggs: vec![
+            AggFunc::CountStar,
+            AggFunc::Sum(lc(c, "lineitem", 0, "l_extendedprice")),
+        ],
+    });
+    b.build()
+}
+
+/// Q3 (simplified per the paper's Example 1, `Q3S` drops the aggregate):
+/// customer ⋈ orders ⋈ lineitem with segment/date predicates.
+fn q3(c: &Catalog, agg: bool) -> QuerySpec {
+    let mut b = QuerySpec::builder(if agg { "Q3" } else { "Q3S" });
+    let cu = b.leaf(c, "customer");
+    let o = b.leaf(c, "orders");
+    let l = b.leaf(c, "lineitem");
+    b.join(c, cu, "c_custkey", o, "o_custkey");
+    b.join(c, o, "o_orderkey", l, "l_orderkey");
+    b.filter(c, cu, "c_mktsegment", CmpOp::Eq, Datum::str("MACHINERY"));
+    b.filter(c, o, "o_orderdate", CmpOp::Lt, Datum::Int(DATE_1995_03_15));
+    b.filter(c, l, "l_shipdate", CmpOp::Gt, Datum::Int(DATE_1995_03_15));
+    if agg {
+        b.aggregate(AggSpec {
+            group_by: vec![lc(c, "lineitem", 2, "l_orderkey")],
+            aggs: vec![AggFunc::Sum(lc(c, "lineitem", 2, "l_extendedprice"))],
+        });
+    }
+    b.build()
+}
+
+/// Q5 (6-way join; `Q5S` drops the aggregate). Leaf order matches the
+/// paper's Figure 5 labelling: REGION, NATION, CUSTOMER, ORDERS,
+/// LINEITEM, SUPPLIER.
+fn q5(c: &Catalog, agg: bool) -> QuerySpec {
+    let mut b = QuerySpec::builder(if agg { "Q5" } else { "Q5S" });
+    let r = b.leaf(c, "region");
+    let n = b.leaf(c, "nation");
+    let cu = b.leaf(c, "customer");
+    let o = b.leaf(c, "orders");
+    let l = b.leaf(c, "lineitem");
+    let s = b.leaf(c, "supplier");
+    // Edge order matches Figure 5's expressions:
+    //   A = REGION ⋈ NATION, B = CUSTOMER ⋈ A, C = ORDERS ⋈ B,
+    //   D = LINEITEM ⋈ C, E = SUPPLIER ⋈ D.
+    b.join(c, n, "n_regionkey", r, "r_regionkey"); // edge 0: A
+    b.join(c, cu, "c_nationkey", n, "n_nationkey"); // edge 1: B
+    b.join(c, o, "o_custkey", cu, "c_custkey"); // edge 2: C
+    b.join(c, l, "l_orderkey", o, "o_orderkey"); // edge 3: D
+    b.join(c, s, "s_suppkey", l, "l_suppkey"); // edge 4: E
+    b.join(c, s, "s_nationkey", n, "n_nationkey"); // edge 5: cycle closer
+    b.filter(c, r, "r_name", CmpOp::Eq, Datum::str("ASIA"));
+    b.filter(c, o, "o_orderdate", CmpOp::Lt, Datum::Int(DATE_1995_03_15));
+    if agg {
+        b.aggregate(AggSpec {
+            group_by: vec![lc(c, "nation", 1, "n_name")],
+            aggs: vec![AggFunc::Sum(lc(c, "lineitem", 4, "l_extendedprice"))],
+        });
+    }
+    b.build()
+}
+
+/// Q6: single-table filter + scalar aggregate over lineitem.
+fn q6(c: &Catalog) -> QuerySpec {
+    let mut b = QuerySpec::builder("Q6");
+    let l = b.leaf(c, "lineitem");
+    b.filter(c, l, "l_shipdate", CmpOp::Ge, Datum::Int(DATE_1995_03_15 - 365));
+    b.filter(c, l, "l_shipdate", CmpOp::Lt, Datum::Int(DATE_1995_03_15));
+    b.filter(c, l, "l_discount", CmpOp::Ge, Datum::Int(5));
+    b.filter(c, l, "l_quantity", CmpOp::Lt, Datum::Int(24));
+    b.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggFunc::Sum(lc(c, "lineitem", 0, "l_extendedprice"))],
+    });
+    b.build()
+}
+
+/// Q10: 4-way join (customer, orders, lineitem, nation) with an
+/// aggregate.
+fn q10(c: &Catalog) -> QuerySpec {
+    let mut b = QuerySpec::builder("Q10");
+    let cu = b.leaf(c, "customer");
+    let o = b.leaf(c, "orders");
+    let l = b.leaf(c, "lineitem");
+    let n = b.leaf(c, "nation");
+    b.join(c, cu, "c_custkey", o, "o_custkey");
+    b.join(c, o, "o_orderkey", l, "l_orderkey");
+    b.join(c, cu, "c_nationkey", n, "n_nationkey");
+    b.filter(c, o, "o_orderdate", CmpOp::Ge, Datum::Int(DATE_1995_03_15 - 90));
+    b.filter(c, o, "o_orderdate", CmpOp::Lt, Datum::Int(DATE_1995_03_15));
+    b.aggregate(AggSpec {
+        group_by: vec![lc(c, "customer", 0, "c_custkey")],
+        aggs: vec![AggFunc::Sum(lc(c, "lineitem", 2, "l_extendedprice"))],
+    });
+    b.build()
+}
+
+/// Q8Join (Table 2): the hand-constructed 8-way join; `Q8JoinS` drops
+/// the aggregate.
+fn q8join(c: &Catalog, agg: bool) -> QuerySpec {
+    let mut b = QuerySpec::builder(if agg { "Q8Join" } else { "Q8JoinS" });
+    let o = b.leaf(c, "orders");
+    let l = b.leaf(c, "lineitem");
+    let cu = b.leaf(c, "customer");
+    let p = b.leaf(c, "part");
+    let ps = b.leaf(c, "partsupp");
+    let s = b.leaf(c, "supplier");
+    let n = b.leaf(c, "nation");
+    let r = b.leaf(c, "region");
+    b.join(c, o, "o_orderkey", l, "l_orderkey");
+    b.join(c, cu, "c_custkey", o, "o_custkey");
+    b.join(c, p, "p_partkey", l, "l_partkey");
+    b.join(c, ps, "ps_partkey", p, "p_partkey");
+    b.join(c, s, "s_suppkey", ps, "ps_suppkey");
+    b.join(c, r, "r_regionkey", n, "n_regionkey");
+    b.join(c, s, "s_nationkey", n, "n_nationkey");
+    if agg {
+        b.aggregate(AggSpec {
+            group_by: vec![
+                lc(c, "customer", 2, "c_name"),
+                lc(c, "supplier", 5, "s_name"),
+            ],
+            aggs: vec![AggFunc::Sum(lc(c, "lineitem", 1, "l_extendedprice"))],
+        });
+    }
+    b.build()
+}
+
+/// Resolves `table.column` for leaf index `leaf` (the query builders
+/// place leaves in a fixed, documented order).
+fn lc(c: &Catalog, table: &str, leaf: u32, column: &str) -> LeafCol {
+    let t = c.table_by_name(table).unwrap();
+    LeafCol {
+        leaf: reopt_expr::LeafId(leaf),
+        col: t.col(column).unwrap(),
+    }
+}
+
+/// The Figure 5 sweep: labels and the Q5 edge perturbed for each
+/// expression A–E ("the first join Region ⋈ Nation is expression A, …").
+pub fn fig5_edge_labels() -> [(&'static str, EdgeId); 5] {
+    [
+        ("A=REGION*NATION", EdgeId(0)),
+        ("B=CUSTOMER*A", EdgeId(1)),
+        ("C=ORDERS*B", EdgeId(2)),
+        ("D=LINEITEM*C", EdgeId(3)),
+        ("E=SUPPLIER*D", EdgeId(4)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::TpchGen;
+    use reopt_expr::JoinGraph;
+
+    fn catalog() -> Catalog {
+        TpchGen::default().generate().0
+    }
+
+    #[test]
+    fn all_queries_build_and_are_connected() {
+        let c = catalog();
+        for q in [
+            QueryId::Q1,
+            QueryId::Q3,
+            QueryId::Q3S,
+            QueryId::Q5,
+            QueryId::Q5S,
+            QueryId::Q6,
+            QueryId::Q10,
+            QueryId::Q8Join,
+            QueryId::Q8JoinS,
+        ] {
+            let spec = q.build(&c);
+            let g = JoinGraph::new(&spec);
+            assert!(
+                g.is_connected(spec.all_rels()),
+                "{} join graph disconnected",
+                q.name()
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_counts_match_paper() {
+        let c = catalog();
+        assert_eq!(QueryId::Q1.build(&c).n_leaves(), 1);
+        assert_eq!(QueryId::Q3.build(&c).n_leaves(), 3);
+        assert_eq!(QueryId::Q5.build(&c).n_leaves(), 6);
+        assert_eq!(QueryId::Q10.build(&c).n_leaves(), 4);
+        assert_eq!(QueryId::Q8Join.build(&c).n_leaves(), 8);
+    }
+
+    #[test]
+    fn s_variants_drop_the_aggregate() {
+        let c = catalog();
+        assert!(QueryId::Q5.build(&c).aggregate.is_some());
+        assert!(QueryId::Q5S.build(&c).aggregate.is_none());
+        assert!(QueryId::Q8Join.build(&c).aggregate.is_some());
+        assert!(QueryId::Q8JoinS.build(&c).aggregate.is_none());
+    }
+
+    #[test]
+    fn fig5_edges_exist_in_q5() {
+        let c = catalog();
+        let q5 = QueryId::Q5.build(&c);
+        for (label, e) in fig5_edge_labels() {
+            assert!(
+                (e.0 as usize) < q5.edges.len(),
+                "{label} references missing edge"
+            );
+        }
+        // Edge 0 really is region-nation.
+        let e0 = q5.edges[0];
+        assert_eq!(e0.l.leaf.0, 1); // nation
+        assert_eq!(e0.r.leaf.0, 0); // region
+    }
+
+    #[test]
+    fn queries_are_optimizable() {
+        let (c, _db) = TpchGen::default().generate();
+        for q in QueryId::figure4_suite() {
+            let spec = q.build(&c);
+            let g = JoinGraph::new(&spec);
+            let mut ctx = reopt_cost::CostContext::new(&c, &spec);
+            let r = reopt_baselines::optimize_system_r(&spec, &g, &mut ctx);
+            assert!(r.cost.is_finite(), "{} has no finite plan", q.name());
+        }
+    }
+}

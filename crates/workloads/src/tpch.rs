@@ -1,0 +1,402 @@
+//! Deterministic TPC-H data generation at laptop scale.
+//!
+//! Reproduces the schema, key relationships, and value distributions the
+//! paper's queries touch. Scale factor 1 corresponds to the standard
+//! row counts (orders 1.5M, …); the experiments here run at small
+//! fractions, which preserves the optimizer-relevant structure
+//! (relative table sizes, key selectivities, skew) at a fraction of the
+//! wall time. `zipf_theta > 0` skews foreign keys and attributes as in
+//! the Microsoft skewed TPC-D generator the paper uses for §5.2.2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use reopt_catalog::{Catalog, Datum, TableBuilder, TableId};
+use reopt_exec::{Database, TableData};
+
+use crate::zipf::Zipf;
+
+/// TPC-H dates span 1992-01-01 .. 1998-12-31; stored as day offsets.
+pub const DATE_MIN: i64 = 0;
+pub const DATE_MAX: i64 = 2556;
+/// `1995-03-15`, the Q3 literal, as a day offset.
+pub const DATE_1995_03_15: i64 = 1169;
+
+/// The market segments (Q3 filters on `MACHINERY`).
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+/// Region names (Q5 filters on one).
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct TpchGen {
+    /// Scale factor: 1.0 = standard TPC-H sizes.
+    pub sf: f64,
+    /// Zipf skew exponent for foreign keys / attributes (0 = uniform).
+    pub zipf_theta: f64,
+    pub seed: u64,
+    /// Histogram buckets for the derived statistics.
+    pub buckets: usize,
+}
+
+impl Default for TpchGen {
+    fn default() -> TpchGen {
+        TpchGen {
+            sf: 0.002,
+            zipf_theta: 0.0,
+            seed: 7,
+            buckets: 32,
+        }
+    }
+}
+
+/// Row counts per table at this scale (minimums keep joins meaningful at
+/// tiny scale factors).
+impl TpchGen {
+    pub fn counts(&self) -> TpchCounts {
+        let sf = self.sf;
+        TpchCounts {
+            region: 5,
+            nation: 25,
+            supplier: ((10_000.0 * sf) as usize).max(20),
+            customer: ((150_000.0 * sf) as usize).max(50),
+            part: ((200_000.0 * sf) as usize).max(50),
+            partsupp: ((800_000.0 * sf) as usize).max(100),
+            orders: ((1_500_000.0 * sf) as usize).max(150),
+            lineitem: ((6_000_000.0 * sf) as usize).max(600),
+        }
+    }
+
+    /// Generates the catalog (schemas + statistics computed from the
+    /// data) and the database.
+    pub fn generate(&self) -> (Catalog, Database) {
+        let counts = self.counts();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut catalog = Catalog::new();
+        let mut db = Database::new();
+        let zipf = |n: usize| Zipf::new(n.max(1), self.zipf_theta);
+
+        // region(r_regionkey, r_name)
+        let region_rows: Vec<Vec<Datum>> = (0..counts.region)
+            .map(|i| vec![Datum::Int(i as i64), Datum::str(REGIONS[i % REGIONS.len()])])
+            .collect();
+        // nation(n_nationkey, n_regionkey, n_name)
+        let nation_rows: Vec<Vec<Datum>> = (0..counts.nation)
+            .map(|i| {
+                vec![
+                    Datum::Int(i as i64),
+                    Datum::Int((i % counts.region) as i64),
+                    Datum::str(&format!("NATION_{i}")),
+                ]
+            })
+            .collect();
+        // supplier(s_suppkey, s_nationkey, s_name)
+        let nation_z = zipf(counts.nation);
+        let supplier_rows: Vec<Vec<Datum>> = (0..counts.supplier)
+            .map(|i| {
+                vec![
+                    Datum::Int(i as i64),
+                    Datum::Int((nation_z.sample(&mut rng) - 1) as i64),
+                    Datum::str(&format!("SUPP_{i}")),
+                ]
+            })
+            .collect();
+        // customer(c_custkey, c_nationkey, c_mktsegment, c_name)
+        let customer_rows: Vec<Vec<Datum>> = (0..counts.customer)
+            .map(|i| {
+                vec![
+                    Datum::Int(i as i64),
+                    Datum::Int((nation_z.sample(&mut rng) - 1) as i64),
+                    Datum::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                    Datum::str(&format!("CUST_{i}")),
+                ]
+            })
+            .collect();
+        // part(p_partkey, p_size)
+        let part_rows: Vec<Vec<Datum>> = (0..counts.part)
+            .map(|i| vec![Datum::Int(i as i64), Datum::Int(rng.gen_range(1..=50))])
+            .collect();
+        // partsupp(ps_partkey, ps_suppkey, ps_availqty)
+        let part_z = zipf(counts.part);
+        let supp_z = zipf(counts.supplier);
+        let partsupp_rows: Vec<Vec<Datum>> = (0..counts.partsupp)
+            .map(|_| {
+                vec![
+                    Datum::Int((part_z.sample(&mut rng) - 1) as i64),
+                    Datum::Int((supp_z.sample(&mut rng) - 1) as i64),
+                    Datum::Int(rng.gen_range(1..=9999)),
+                ]
+            })
+            .collect();
+        // orders(o_orderkey, o_custkey, o_orderdate, o_shippriority)
+        let cust_z = zipf(counts.customer);
+        let orders_rows: Vec<Vec<Datum>> = (0..counts.orders)
+            .map(|i| {
+                vec![
+                    Datum::Int(i as i64),
+                    Datum::Int((cust_z.sample(&mut rng) - 1) as i64),
+                    Datum::Int(rng.gen_range(DATE_MIN..=DATE_MAX)),
+                    Datum::Int(rng.gen_range(0..5)),
+                ]
+            })
+            .collect();
+        // lineitem(l_orderkey, l_partkey, l_suppkey, l_extendedprice,
+        //          l_discount, l_shipdate, l_quantity)
+        let order_z = zipf(counts.orders);
+        let lineitem_rows: Vec<Vec<Datum>> = (0..counts.lineitem)
+            .map(|_| {
+                let order = (order_z.sample(&mut rng) - 1) as i64;
+                vec![
+                    Datum::Int(order),
+                    Datum::Int((part_z.sample(&mut rng) - 1) as i64),
+                    Datum::Int((supp_z.sample(&mut rng) - 1) as i64),
+                    Datum::Int(rng.gen_range(10_000..=1_000_000)), // cents
+                    Datum::Int(rng.gen_range(0..=10)),             // discount %
+                    Datum::Int(rng.gen_range(DATE_MIN..=DATE_MAX)),
+                    Datum::Int(rng.gen_range(1..=50)),
+                ]
+            })
+            .collect();
+
+        let placeholder = |cols: usize| reopt_catalog::TableStats {
+            row_count: 0.0,
+            columns: vec![reopt_catalog::ColumnStats::uniform_key(1.0); cols],
+        };
+        let add = |catalog: &mut Catalog,
+                       db: &mut Database,
+                       name: &str,
+                       build: &dyn Fn(TableBuilder) -> TableBuilder,
+                       rows: Vec<Vec<Datum>>| {
+            let cols = rows.first().map_or(1, Vec::len);
+            let id = catalog.add_table(
+                |id| build(TableBuilder::new(name)).build(id),
+                placeholder(cols),
+            );
+            db.set_table(id, TableData::new(rows));
+            id
+        };
+
+        add(
+            &mut catalog,
+            &mut db,
+            "region",
+            &|b| b.int_col("r_regionkey").str_col("r_name").index_on("r_regionkey"),
+            region_rows,
+        );
+        add(
+            &mut catalog,
+            &mut db,
+            "nation",
+            &|b| {
+                b.int_col("n_nationkey")
+                    .int_col("n_regionkey")
+                    .str_col("n_name")
+                    .index_on("n_nationkey")
+            },
+            nation_rows,
+        );
+        add(
+            &mut catalog,
+            &mut db,
+            "supplier",
+            &|b| {
+                b.int_col("s_suppkey")
+                    .int_col("s_nationkey")
+                    .str_col("s_name")
+                    .index_on("s_suppkey")
+            },
+            supplier_rows,
+        );
+        add(
+            &mut catalog,
+            &mut db,
+            "customer",
+            &|b| {
+                b.int_col("c_custkey")
+                    .int_col("c_nationkey")
+                    .str_col("c_mktsegment")
+                    .str_col("c_name")
+                    .index_on("c_custkey")
+            },
+            customer_rows,
+        );
+        add(
+            &mut catalog,
+            &mut db,
+            "part",
+            &|b| b.int_col("p_partkey").int_col("p_size").index_on("p_partkey"),
+            part_rows,
+        );
+        add(
+            &mut catalog,
+            &mut db,
+            "partsupp",
+            &|b| {
+                b.int_col("ps_partkey")
+                    .int_col("ps_suppkey")
+                    .int_col("ps_availqty")
+                    .index_on("ps_partkey")
+            },
+            partsupp_rows,
+        );
+        add(
+            &mut catalog,
+            &mut db,
+            "orders",
+            &|b| {
+                b.int_col("o_orderkey")
+                    .int_col("o_custkey")
+                    .int_col("o_orderdate")
+                    .int_col("o_shippriority")
+                    .index_on("o_orderkey")
+                    .clustered_on("o_orderkey")
+            },
+            orders_rows,
+        );
+        add(
+            &mut catalog,
+            &mut db,
+            "lineitem",
+            &|b| {
+                b.int_col("l_orderkey")
+                    .int_col("l_partkey")
+                    .int_col("l_suppkey")
+                    .int_col("l_extendedprice")
+                    .int_col("l_discount")
+                    .int_col("l_shipdate")
+                    .int_col("l_quantity")
+                    .index_on("l_orderkey")
+            },
+            lineitem_rows,
+        );
+
+        // Replace placeholder statistics with real ones computed from
+        // the generated data (histograms included).
+        for i in 0..catalog.len() as u32 {
+            let id = TableId(i);
+            let stats = db.compute_stats(&catalog, id, self.buckets);
+            catalog.set_stats(id, stats);
+        }
+        (catalog, db)
+    }
+
+    /// Splits the fact tables into `n` partitions for the §5.2.2
+    /// experiment (each partition is a self-contained database sharing
+    /// the dimension tables).
+    pub fn partition(&self, db: &Database, catalog: &Catalog, n: usize) -> Vec<Database> {
+        (0..n)
+            .map(|p| {
+                let mut part = Database::new();
+                for table in catalog.tables() {
+                    let data = db.table(table.id);
+                    let rows = if matches!(table.name.as_str(), "orders" | "lineitem") {
+                        data.rows
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % n == p)
+                            .map(|(_, r)| r.clone())
+                            .collect()
+                    } else {
+                        data.rows.clone()
+                    };
+                    part.set_table(table.id, TableData::new(rows));
+                }
+                part
+            })
+            .collect()
+    }
+}
+
+/// Row counts at a given scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TpchCounts {
+    pub region: usize,
+    pub nation: usize,
+    pub supplier: usize,
+    pub customer: usize,
+    pub part: usize,
+    pub partsupp: usize,
+    pub orders: usize,
+    pub lineitem: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = TpchGen::default();
+        let (_, db1) = gen.generate();
+        let (_, db2) = gen.generate();
+        let li = reopt_catalog::TableId(7);
+        assert_eq!(db1.table(li).rows, db2.table(li).rows);
+    }
+
+    #[test]
+    fn row_counts_match_scale() {
+        let gen = TpchGen {
+            sf: 0.01,
+            ..Default::default()
+        };
+        let (catalog, db) = gen.generate();
+        let counts = gen.counts();
+        assert_eq!(
+            db.table(catalog.table_by_name("orders").unwrap().id).len(),
+            counts.orders
+        );
+        assert_eq!(
+            db.table(catalog.table_by_name("region").unwrap().id).len(),
+            5
+        );
+        assert_eq!(counts.orders, 15_000);
+    }
+
+    #[test]
+    fn stats_reflect_generated_data() {
+        let gen = TpchGen::default();
+        let (catalog, db) = gen.generate();
+        let orders = catalog.table_by_name("orders").unwrap().id;
+        let stats = catalog.stats(orders);
+        assert_eq!(stats.row_count, db.table(orders).len() as f64);
+        // o_orderkey is a key: NDV == row count.
+        assert_eq!(stats.columns[0].ndv, stats.row_count);
+    }
+
+    #[test]
+    fn zipf_skews_foreign_keys() {
+        let uniform = TpchGen {
+            zipf_theta: 0.0,
+            ..Default::default()
+        };
+        let skewed = TpchGen {
+            zipf_theta: 1.0,
+            ..Default::default()
+        };
+        let max_fk_count = |gen: &TpchGen| {
+            let (catalog, db) = gen.generate();
+            let li = catalog.table_by_name("lineitem").unwrap().id;
+            let mut counts = std::collections::HashMap::new();
+            for row in &db.table(li).rows {
+                *counts.entry(row[0].as_int()).or_insert(0usize) += 1;
+            }
+            *counts.values().max().unwrap()
+        };
+        assert!(max_fk_count(&skewed) > 3 * max_fk_count(&uniform));
+    }
+
+    #[test]
+    fn partitions_split_facts_and_share_dimensions() {
+        let gen = TpchGen::default();
+        let (catalog, db) = gen.generate();
+        let parts = gen.partition(&db, &catalog, 4);
+        assert_eq!(parts.len(), 4);
+        let orders = catalog.table_by_name("orders").unwrap().id;
+        let nation = catalog.table_by_name("nation").unwrap().id;
+        let total: usize = parts.iter().map(|p| p.table(orders).len()).sum();
+        assert_eq!(total, db.table(orders).len());
+        for p in &parts {
+            assert_eq!(p.table(nation).len(), db.table(nation).len());
+        }
+    }
+}

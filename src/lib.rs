@@ -1,0 +1,21 @@
+//! Umbrella crate re-exporting the full reproduction of
+//! *Enabling Incremental Query Re-Optimization* (Liu, Ives, Loo; SIGMOD 2016).
+//!
+//! See the individual crates for documentation:
+//! - [`core`] — the incremental declarative optimizer (the paper's contribution)
+//! - [`baselines`] — Volcano / System-R procedural optimizers
+//! - [`datalog`] — the delta-processing dataflow substrate
+//! - [`exec`] — the pipelined stored/stream execution engine
+//! - [`workloads`] — TPC-H / Linear Road generators and the query suite
+//! - [`aqp`] — the adaptive query processing driver
+
+pub use reopt_aqp as aqp;
+pub use reopt_baselines as baselines;
+pub use reopt_catalog as catalog;
+pub use reopt_common as common;
+pub use reopt_core as core;
+pub use reopt_cost as cost;
+pub use reopt_datalog as datalog;
+pub use reopt_exec as exec;
+pub use reopt_expr as expr;
+pub use reopt_workloads as workloads;

@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! generation through optimization to execution, exercised end to end.
+
+use reopt::baselines::{optimize_system_r, optimize_volcano};
+use reopt::core::{IncrementalOptimizer, PruningConfig};
+use reopt::cost::{CostContext, ParamDelta};
+use reopt::exec::Executor;
+use reopt::expr::{EdgeId, JoinGraph, LeafId};
+use reopt::workloads::{QueryId, TpchGen};
+
+fn all_query_ids() -> [QueryId; 9] {
+    [
+        QueryId::Q1,
+        QueryId::Q3,
+        QueryId::Q3S,
+        QueryId::Q5,
+        QueryId::Q5S,
+        QueryId::Q6,
+        QueryId::Q10,
+        QueryId::Q8Join,
+        QueryId::Q8JoinS,
+    ]
+}
+
+#[test]
+fn all_optimizers_agree_on_the_full_workload() {
+    let (catalog, _db) = TpchGen::default().generate();
+    for qid in all_query_ids() {
+        let q = qid.build(&catalog);
+        let g = JoinGraph::new(&q);
+        let mut ctx = CostContext::new(&catalog, &q);
+        let dp = optimize_system_r(&q, &g, &mut ctx);
+        let vol = optimize_volcano(&q, &g, &mut ctx);
+        assert!(
+            dp.cost.approx_eq(vol.cost),
+            "{}: dp={:?} volcano={:?}",
+            qid.name(),
+            dp.cost,
+            vol.cost
+        );
+        for cfg in [
+            PruningConfig::evita_raced(),
+            PruningConfig::aggsel_refcount(),
+            PruningConfig::all(),
+        ] {
+            let mut opt = IncrementalOptimizer::new(&catalog, q.clone(), cfg);
+            let out = opt.optimize();
+            assert!(
+                out.cost.approx_eq(dp.cost),
+                "{} under {}: {:?} vs dp {:?}",
+                qid.name(),
+                cfg.label(),
+                out.cost,
+                dp.cost
+            );
+            opt.check_invariants()
+                .unwrap_or_else(|e| panic!("{} {}: {e}", qid.name(), cfg.label()));
+        }
+    }
+}
+
+#[test]
+fn different_optimizers_plans_produce_identical_results() {
+    // Execute Q3S with every optimizer's plan over real data: whatever
+    // the join order, the result multiset cardinality must agree.
+    let (catalog, db) = TpchGen::default().generate();
+    for qid in [QueryId::Q3S, QueryId::Q10] {
+        let q = qid.build(&catalog);
+        let g = JoinGraph::new(&q);
+        let mut ctx = CostContext::new(&catalog, &q);
+        let plans = [optimize_system_r(&q, &g, &mut ctx).plan,
+            optimize_volcano(&q, &g, &mut ctx).plan,
+            {
+                let mut opt =
+                    IncrementalOptimizer::new(&catalog, q.clone(), PruningConfig::all());
+                opt.optimize().plan
+            }];
+        let counts: Vec<usize> = plans
+            .iter()
+            .map(|p| {
+                let mut exec = Executor::from_database(&q, &catalog, &db);
+                exec.run(p).0.len()
+            })
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{}: result counts diverge across plans: {counts:?}",
+            qid.name()
+        );
+    }
+}
+
+#[test]
+fn incremental_sequence_tracks_fresh_optimization_on_q5() {
+    let (catalog, _db) = TpchGen::default().generate();
+    let q = QueryId::Q5.build(&catalog);
+    let g = JoinGraph::new(&q);
+    let mut opt = IncrementalOptimizer::new(&catalog, q.clone(), PruningConfig::all());
+    opt.optimize();
+    // A realistic monitoring sequence: edge selectivities and scan costs
+    // drifting upward as load increases.
+    let sequence: Vec<Vec<ParamDelta>> = vec![
+        vec![ParamDelta::EdgeSelectivity(EdgeId(3), 2.0)],
+        vec![ParamDelta::LeafScanCost(LeafId(3), 3.0)],
+        vec![
+            ParamDelta::EdgeSelectivity(EdgeId(3), 4.0),
+            ParamDelta::LeafCardinality(LeafId(4), 2.0),
+        ],
+        vec![ParamDelta::EdgeSelectivity(EdgeId(1), 6.0)],
+    ];
+    let mut cumulative: Vec<ParamDelta> = Vec::new();
+    for batch in sequence {
+        cumulative.extend(batch.iter().copied());
+        let out = opt.reoptimize(&batch);
+        let mut ctx = CostContext::new(&catalog, &q);
+        ctx.apply(&cumulative);
+        let fresh = optimize_system_r(&q, &g, &mut ctx);
+        assert!(
+            out.cost.approx_eq(fresh.cost),
+            "after {cumulative:?}: incremental {:?} vs fresh {:?}",
+            out.cost,
+            fresh.cost
+        );
+        opt.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn incremental_reoptimization_is_faster_than_from_scratch() {
+    // The headline claim, measured coarsely (debug builds still show the
+    // an order-of-magnitude gap on repeated updates).
+    let (catalog, _db) = TpchGen::default().generate();
+    let q = QueryId::Q5.build(&catalog);
+    let g = JoinGraph::new(&q);
+    let mut opt = IncrementalOptimizer::new(&catalog, q.clone(), PruningConfig::all());
+    opt.optimize();
+    let rounds = 40;
+    let t0 = std::time::Instant::now();
+    for i in 0..rounds {
+        let f = if i % 2 == 0 { 2.0 } else { 1.0 };
+        opt.reoptimize(&[ParamDelta::LeafScanCost(LeafId(3), f)]);
+    }
+    let incremental = t0.elapsed();
+    let mut ctx = CostContext::new(&catalog, &q);
+    let t1 = std::time::Instant::now();
+    for i in 0..rounds {
+        let f = if i % 2 == 0 { 2.0 } else { 1.0 };
+        ctx.apply(&[ParamDelta::LeafScanCost(LeafId(3), f)]);
+        let _ = optimize_volcano(&q, &g, &mut ctx);
+    }
+    let scratch = t1.elapsed();
+    assert!(
+        incremental < scratch,
+        "incremental {incremental:?} not faster than from-scratch {scratch:?}"
+    );
+}
+
+#[test]
+fn zipf_skew_changes_plans() {
+    // The §5.2.2 premise: skewed data leads to different statistics and
+    // (typically) different optimal plans than uniform data.
+    let uniform = TpchGen {
+        zipf_theta: 0.0,
+        ..Default::default()
+    };
+    let skewed = TpchGen {
+        zipf_theta: 1.2,
+        ..Default::default()
+    };
+    let cost_of = |gen: &TpchGen| {
+        let (catalog, _) = gen.generate();
+        let q = QueryId::Q5.build(&catalog);
+        let g = JoinGraph::new(&q);
+        let mut ctx = CostContext::new(&catalog, &q);
+        optimize_system_r(&q, &g, &mut ctx).cost
+    };
+    let u = cost_of(&uniform);
+    let s = cost_of(&skewed);
+    assert!(
+        !u.approx_eq(s),
+        "skew had no effect on plan costs: {u:?} vs {s:?}"
+    );
+}
