@@ -35,15 +35,14 @@ proptest! {
         let r = df.add_input("r");
         let j = df.add_op(HashJoin::new(vec![0], vec![0]), &[l, r]);
         let sink = df.add_sink(j);
-        let (mut nl, mut nr): (Vec<(i64, i64)>, Vec<(i64, i64)>) = (vec![], vec![]);
+        type Tuples = Vec<(i64, i64)>;
+        let (mut nl, mut nr): (Tuples, Tuples) = (vec![], vec![]);
         for (side, key, val, insert) in evts {
             // Skip deletions of absent tuples on the naive side, and
             // mirror exactly what we skipped (the engine tolerates
             // negative counts, but matching the oracle needs the same
             // event stream).
-            let present = if side { &nl } else { &nr }
-                .iter()
-                .any(|&t| t == (key as i64, val as i64));
+            let present = if side { &nl } else { &nr }.contains(&(key as i64, val as i64));
             if !insert && !present {
                 continue;
             }
@@ -88,7 +87,7 @@ proptest! {
         let sink = df.add_sink(agg);
         let mut naive: Vec<(i64, i64)> = vec![];
         for (_, key, val, insert) in evts {
-            let present = naive.iter().any(|&t| t == (key as i64, val as i64));
+            let present = naive.contains(&(key as i64, val as i64));
             if !insert && !present {
                 continue;
             }
@@ -133,7 +132,7 @@ proptest! {
             if a == b {
                 continue; // no self loops (keeps the graph acyclic)
             }
-            let present = naive.iter().any(|&t| t == (a as i64, b as i64));
+            let present = naive.contains(&(a as i64, b as i64));
             if insert == present {
                 continue; // keep edge multiset a set
             }

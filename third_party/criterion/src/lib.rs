@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so this crate implements the
+//! subset of criterion's API the workspace's benches use: `Criterion`,
+//! benchmark groups with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! median-of-samples wall-clock measurement printed to stdout — adequate for
+//! relative comparisons; swap in real criterion when network access exists.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation; accepted and ignored by the stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Median per-iteration time of the measured samples.
+    result: Option<Duration>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.settings.warm_up_time;
+        let iters_per_sample;
+        loop {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed().max(Duration::from_nanos(1));
+            if Instant::now() >= warm_deadline {
+                // Aim each sample at ~1/sample_size of the measurement budget.
+                let per_sample =
+                    self.settings.measurement_time / self.settings.sample_size as u32;
+                iters_per_sample =
+                    (per_sample.as_nanos() / dt.as_nanos()).clamp(1, 1_000_000) as u64;
+                break;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / iters_per_sample as u32);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            settings: &self.settings,
+            result: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), b.result);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, result: Option<Duration>) {
+    match result {
+        Some(median) => println!("{name:<60} median {median:>12.2?}"),
+        None => println!("{name:<60} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::default(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let settings = Settings::default();
+        let mut b = Bencher {
+            settings: &settings,
+            result: None,
+        };
+        f(&mut b);
+        report(&id.into().id, b.result);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` / `cargo bench -- <filter>` pass flags the
+            // stand-in doesn't interpret; run everything regardless.
+            $( $group(); )+
+        }
+    };
+}
