@@ -61,6 +61,28 @@ fn datalog_engine(c: &mut Criterion) {
             df.sink(sink).len()
         })
     });
+    group.bench_function("tc_batch_churn_32", |b| {
+        // A churn slice queued as one batch: delete 32 edges and
+        // re-insert them shifted, all before a single `run`. The batched
+        // scheduler coalesces the overlap in the queue; the per-delta
+        // seed replayed every retraction cascade.
+        let (mut df, edge, sink) = tc_dataflow();
+        for i in 0..64i64 {
+            df.insert(edge, ints(&[i, i + 1]));
+        }
+        df.run().unwrap();
+        let mut phase = 0i64;
+        b.iter(|| {
+            let (del, ins) = if phase == 0 { (0, 1) } else { (1, 0) };
+            phase ^= 1;
+            for i in (0..64i64).step_by(2) {
+                df.delete(edge, ints(&[i + del, i + del + 1]));
+                df.insert(edge, ints(&[i + ins, i + ins + 1]));
+            }
+            df.run().unwrap();
+            df.sink(sink).len()
+        })
+    });
     group.bench_function("min_view_maintenance_1k", |b| {
         let mut df = Dataflow::new();
         let costs = df.add_input("costs");

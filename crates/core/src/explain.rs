@@ -51,6 +51,29 @@ impl IncrementalOptimizer {
         out
     }
 
+    /// Renders the query's join graph: one row per leaf with its alias
+    /// and the aliases it is joined to. Plan enumeration only considers
+    /// connected splits of this graph, so this is the map to read the
+    /// `SearchSpace` rows against.
+    pub fn explain_join_graph(&self) -> String {
+        let q = self.query();
+        let g = self.join_graph();
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<14} joined-with", "Leaf");
+        for (i, leaf) in q.leaves.iter().enumerate() {
+            let nbrs = g.neighbors(reopt_expr::RelSet::singleton(i as u32));
+            let names: Vec<&str> = q
+                .leaves
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| nbrs.contains(*j as u32))
+                .map(|(_, l)| l.alias.as_str())
+                .collect();
+            let _ = writeln!(out, "{:<14} {}", leaf.alias, names.join(", "));
+        }
+        out
+    }
+
     /// Renders per-group `BestCost` / `Bound` / refcount state (the
     /// paper's Figure 2 annotations).
     pub fn explain_groups(&self) -> String {
@@ -112,6 +135,25 @@ mod tests {
         );
         // Scan rows carry the paper's `–` placeholders.
         assert!(table.contains("–"));
+    }
+
+    #[test]
+    fn join_graph_rendering_lists_every_leaf_with_neighbors() {
+        let c = fixture_catalog();
+        let q = chain_query(&c, 3);
+        let opt = IncrementalOptimizer::new(&c, q.clone(), PruningConfig::all());
+        let table = opt.explain_join_graph();
+        // One row per leaf plus the header.
+        assert_eq!(table.lines().count(), q.leaves.len() + 1);
+        for leaf in &q.leaves {
+            assert!(table.contains(leaf.alias.as_str()), "missing {}", leaf.alias);
+        }
+        // A chain's interior leaf has two neighbors.
+        let middle = table
+            .lines()
+            .find(|l| l.starts_with(&q.leaves[1].alias))
+            .unwrap();
+        assert_eq!(middle.matches(", ").count(), 1, "{middle}");
     }
 
     #[test]

@@ -40,7 +40,6 @@ pub struct Outcome {
 /// The incremental declarative optimizer.
 pub struct IncrementalOptimizer {
     q: QuerySpec,
-    #[allow(dead_code)]
     graph: JoinGraph,
     memo: Memo,
     ctx: CostContext,
@@ -107,6 +106,12 @@ impl IncrementalOptimizer {
 
     pub fn memo(&self) -> &Memo {
         &self.memo
+    }
+
+    /// The query's join graph (connectivity the enumeration respected —
+    /// rendered by `explain_join_graph`).
+    pub fn join_graph(&self) -> &JoinGraph {
+        &self.graph
     }
 
     pub fn cost_context(&self) -> &CostContext {

@@ -6,6 +6,8 @@
 //! plus an insertion, which is how the engine's stateful operators emit
 //! it) — the standard counting encoding of Gupta–Mumick–Subrahmanian.
 
+use reopt_common::FxHashMap;
+
 use crate::value::Tuple;
 
 /// A signed change to a relation's multiset.
@@ -43,6 +45,75 @@ impl Delta {
     }
 }
 
+/// Reusable state for [`coalesce`]: a hash-indexed view of the batch
+/// being coalesced, invalidated between calls by a generation stamp
+/// instead of an O(capacity) clear.
+#[derive(Debug, Default)]
+pub struct CoalesceScratch {
+    /// tuple-hash → (generation, index of first occurrence in batch).
+    map: FxHashMap<u64, (u32, u32)>,
+    generation: u32,
+}
+
+/// Coalesces a batch in place: deltas on the same tuple are merged into
+/// the first occurrence (summing signed counts), and tuples whose counts
+/// cancel to zero are dropped entirely. First-occurrence order is
+/// preserved, so coalescing is deterministic.
+///
+/// All operators are linear or bilinear in their input deltas (and the
+/// stateful ones converge to the same fixpoint either way), so merging
+/// `+t`/`-t` pairs before they fan out through a join shrinks cascades
+/// without changing observable results.
+///
+/// The scratch index keys on tuple *hashes*, never cloning a tuple; on
+/// the (rare) collision of two distinct tuples the later one is simply
+/// left unmerged — coalescing is an optimization, not a correctness
+/// requirement, so skipping a merge is always safe.
+pub fn coalesce(batch: &mut Vec<Delta>, scratch: &mut CoalesceScratch) {
+    if batch.len() <= 1 {
+        batch.retain(|d| d.count != 0);
+        return;
+    }
+    scratch.generation = scratch.generation.wrapping_add(1);
+    if scratch.generation == 0 {
+        // Wrapped: stale entries could alias the new generation.
+        scratch.map.clear();
+        scratch.generation = 1;
+    }
+    let generation = scratch.generation;
+    let mut keep = 0usize;
+    for i in 0..batch.len() {
+        let h = batch[i].tuple.fx_hash();
+        let mut merged = false;
+        match scratch.map.entry(h) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (gen, at) = *e.get();
+                if gen == generation {
+                    let at = at as usize;
+                    if batch[at].tuple == batch[i].tuple {
+                        let c = batch[i].count;
+                        batch[at].count += c;
+                        merged = true;
+                    }
+                    // else: hash collision between distinct tuples —
+                    // keep both deltas, leave the mapping in place.
+                } else {
+                    e.insert((generation, keep as u32));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((generation, keep as u32));
+            }
+        }
+        if !merged {
+            batch.swap(keep, i);
+            keep += 1;
+        }
+    }
+    batch.truncate(keep);
+    batch.retain(|d| d.count != 0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +132,51 @@ mod tests {
         let d = Delta::with_count(ints(&[7]), -2);
         assert_eq!(d.scaled(3).count, -6);
         assert_eq!(d.scaled(3).tuple, ints(&[7]));
+    }
+
+    #[test]
+    fn coalesce_merges_and_cancels() {
+        let mut batch = vec![
+            Delta::insert(ints(&[1])),
+            Delta::insert(ints(&[2])),
+            Delta::delete(ints(&[1])),
+            Delta::with_count(ints(&[2]), 2),
+            Delta::with_count(ints(&[3]), 0),
+        ];
+        let mut scratch = CoalesceScratch::default();
+        coalesce(&mut batch, &mut scratch);
+        // (1): +1-1 cancels; (2): 1+2 merges; (3): zero dropped.
+        assert_eq!(batch, vec![Delta::with_count(ints(&[2]), 3)]);
+    }
+
+    #[test]
+    fn coalesce_preserves_first_occurrence_order() {
+        let mut batch = vec![
+            Delta::insert(ints(&[3])),
+            Delta::insert(ints(&[1])),
+            Delta::insert(ints(&[3])),
+            Delta::insert(ints(&[2])),
+        ];
+        let mut scratch = CoalesceScratch::default();
+        coalesce(&mut batch, &mut scratch);
+        assert_eq!(
+            batch,
+            vec![
+                Delta::with_count(ints(&[3]), 2),
+                Delta::insert(ints(&[1])),
+                Delta::insert(ints(&[2])),
+            ]
+        );
+    }
+
+    #[test]
+    fn coalesce_singleton_drops_only_zeros() {
+        let mut scratch = CoalesceScratch::default();
+        let mut one = vec![Delta::insert(ints(&[1]))];
+        coalesce(&mut one, &mut scratch);
+        assert_eq!(one.len(), 1);
+        let mut zero = vec![Delta::with_count(ints(&[1]), 0)];
+        coalesce(&mut zero, &mut scratch);
+        assert!(zero.is_empty());
     }
 }

@@ -18,6 +18,15 @@
 //!   second-from-minimum.
 //! - **Fixpoint execution over cyclic dataflows** (recursion) driven by a
 //!   work queue, with no constraint on delta arrival order.
+//! - **Batched, coalescing delta propagation**: the scheduler services
+//!   one destination port per step with every delta queued for it,
+//!   merging opposite-sign changes to the same tuple before they fan out
+//!   — per-delta FIFO execution survives as [`SchedulerMode::PerDelta`]
+//!   and is property-tested equivalent.
+//! - **Allocation-lean tuples**: values sequences up to
+//!   [`value::INLINE_CAP`] long live inline in the [`Tuple`] (no heap
+//!   traffic on the projection/join/key hot path); longer ones spill to
+//!   a shared `Arc<[Val]>`.
 
 pub mod agg;
 pub mod dataflow;
@@ -27,8 +36,8 @@ pub mod relation;
 pub mod value;
 
 pub use agg::{AggKind, OrderedMultiset};
-pub use dataflow::{Dataflow, NodeId, RunStats, SinkId};
-pub use delta::Delta;
+pub use dataflow::{Dataflow, NodeId, RunStats, SchedulerMode, SinkId};
+pub use delta::{coalesce, CoalesceScratch, Delta};
 pub use ops::{Distinct, GroupAgg, HashJoin, Map, Operator, Union};
 pub use relation::{IndexedMultiset, Multiset};
 pub use value::{Tuple, Val};

@@ -1,7 +1,12 @@
-//! Dataflow operators. Each consumes delta tuples on its input ports and
-//! emits delta tuples, "largely as if they were standard tuples" (§4):
-//! (1) update internal state, (2) evaluate internal computations,
-//! (3) construct output deltas.
+//! Dataflow operators. Each consumes a *batch* of delta tuples arriving
+//! on one input port and emits delta tuples, "largely as if they were
+//! standard tuples" (§4): (1) update internal state, (2) evaluate
+//! internal computations, (3) construct output deltas.
+//!
+//! Batches are the unit of scheduling (one queue entry, one dynamic
+//! dispatch, one state borrow per batch rather than per delta); within a
+//! batch the deltas are processed in order, so every operator remains
+//! observationally identical to per-delta execution.
 
 use reopt_common::FxHashMap;
 
@@ -12,13 +17,34 @@ use crate::value::Tuple;
 
 /// A dataflow operator.
 pub trait Operator {
-    /// Processes one input delta arriving on `port`, appending output
-    /// deltas to `out`.
-    fn on_delta(&mut self, port: usize, delta: &Delta, out: &mut Vec<Delta>);
+    /// Processes a batch of input deltas arriving on `port`, appending
+    /// output deltas to `out`. The batch is coalesced by the scheduler
+    /// (no two deltas share a tuple, no zero counts), but operators must
+    /// not rely on that for correctness.
+    fn on_batch(&mut self, port: usize, deltas: &[Delta], out: &mut Vec<Delta>);
 
     /// Number of input ports.
     fn arity(&self) -> usize {
         1
+    }
+
+    /// True if the operator forwards every input delta unchanged
+    /// (`Union`): the scheduler then moves batches through the node
+    /// without calling [`Operator::on_batch`] or cloning deltas. An
+    /// operator returning `true` must be stateless and must behave as
+    /// the identity on every port.
+    fn is_passthrough(&self) -> bool {
+        false
+    }
+
+    /// True if the scheduler should coalesce batches before they reach
+    /// this operator. Stateful operators (join, distinct, aggregation)
+    /// benefit: merged counts mean fewer state updates and smaller
+    /// bilinear fan-outs. Linear stateless operators (`Map`, `Union`)
+    /// return `false` — their outputs re-merge at the next stateful
+    /// input anyway, so hashing their inputs would be pure overhead.
+    fn coalesces_input(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str;
@@ -50,10 +76,19 @@ impl Map {
 }
 
 impl Operator for Map {
-    fn on_delta(&mut self, _port: usize, delta: &Delta, out: &mut Vec<Delta>) {
-        if let Some(t) = (self.f)(&delta.tuple) {
-            out.push(Delta::with_count(t, delta.count));
+    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+        for delta in deltas {
+            if delta.count == 0 {
+                continue;
+            }
+            if let Some(t) = (self.f)(&delta.tuple) {
+                out.push(Delta::with_count(t, delta.count));
+            }
         }
+    }
+
+    fn coalesces_input(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &'static str {
@@ -65,6 +100,10 @@ impl Operator for Map {
 /// one side joins the *current* state of the other side
 /// (`ΔL ⋈ R  ∪  L' ⋈ ΔR`), with multiplicities multiplied (bilinear).
 /// Output tuples are `left ++ right`.
+///
+/// A whole batch arrives on one port, so the opposite side's state is
+/// constant across the batch and `ΔL ⋈ R` distributes over the batch's
+/// deltas — applying and probing per delta is exact.
 pub struct HashJoin {
     left: IndexedMultiset,
     right: IndexedMultiset,
@@ -89,26 +128,34 @@ impl HashJoin {
 }
 
 impl Operator for HashJoin {
-    fn on_delta(&mut self, port: usize, delta: &Delta, out: &mut Vec<Delta>) {
+    fn on_batch(&mut self, port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
         match port {
             0 => {
-                self.left.apply(delta);
-                let key = self.left.key_of(&delta.tuple);
-                for (rt, rc) in self.right.matches(&key) {
-                    out.push(Delta::with_count(
-                        delta.tuple.concat(rt),
-                        delta.count * rc,
-                    ));
+                for delta in deltas {
+                    if delta.count == 0 {
+                        continue;
+                    }
+                    self.left.apply(delta);
+                    for (rt, rc) in self.right.matches(&delta.tuple, self.left.key_cols()) {
+                        let count = delta.count * rc;
+                        if count != 0 {
+                            out.push(Delta::with_count(delta.tuple.concat(rt), count));
+                        }
+                    }
                 }
             }
             1 => {
-                self.right.apply(delta);
-                let key = self.right.key_of(&delta.tuple);
-                for (lt, lc) in self.left.matches(&key) {
-                    out.push(Delta::with_count(
-                        lt.concat(&delta.tuple),
-                        delta.count * lc,
-                    ));
+                for delta in deltas {
+                    if delta.count == 0 {
+                        continue;
+                    }
+                    self.right.apply(delta);
+                    for (lt, lc) in self.left.matches(&delta.tuple, self.right.key_cols()) {
+                        let count = delta.count * lc;
+                        if count != 0 {
+                            out.push(Delta::with_count(lt.concat(&delta.tuple), count));
+                        }
+                    }
                 }
             }
             p => panic!("join has 2 ports, got {p}"),
@@ -128,11 +175,20 @@ impl Operator for HashJoin {
 /// (the §4.1 "priority queue"). Emits set-semantics deltas: on an
 /// aggregate change, `-old_result` then `+new_result`, i.e. the paper's
 /// update delta `R[x→x']`.
+///
+/// Within a batch, each group's aggregate is compared once against its
+/// value *before the batch*: intermediate transitions (e.g. a new
+/// minimum inserted and deleted by the same batch) emit nothing instead
+/// of an update pair that downstream operators would only cancel.
 pub struct GroupAgg {
     key_cols: Vec<usize>,
     value_col: usize,
     kind: AggKind,
     groups: FxHashMap<Tuple, OrderedMultiset>,
+    /// Scratch: keys touched by the current batch, in first-touch order.
+    touched: Vec<Tuple>,
+    /// Scratch: pre-batch aggregate per touched key.
+    old_aggs: FxHashMap<Tuple, Option<crate::value::Val>>,
 }
 
 impl GroupAgg {
@@ -142,6 +198,8 @@ impl GroupAgg {
             value_col,
             kind,
             groups: FxHashMap::default(),
+            touched: Vec::new(),
+            old_aggs: FxHashMap::default(),
         }
     }
 
@@ -153,25 +211,34 @@ impl GroupAgg {
 }
 
 impl Operator for GroupAgg {
-    fn on_delta(&mut self, _port: usize, delta: &Delta, out: &mut Vec<Delta>) {
-        let key = delta.tuple.project(&self.key_cols);
-        let value = delta.tuple.get(self.value_col).clone();
-        let group = self.groups.entry(key.clone()).or_default();
-        let old = group.aggregate(self.kind);
-        group.update(value, delta.count);
-        let new = group.aggregate(self.kind);
-        if old == new {
-            return;
+    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+        self.touched.clear();
+        self.old_aggs.clear();
+        for delta in deltas {
+            if delta.count == 0 {
+                continue;
+            }
+            let key = delta.tuple.project(&self.key_cols);
+            let value = delta.tuple.get(self.value_col);
+            let group = self.groups.entry(key.clone()).or_default();
+            if !self.old_aggs.contains_key(&key) {
+                self.old_aggs.insert(key.clone(), group.aggregate(self.kind));
+                self.touched.push(key);
+            }
+            group.update(value, delta.count);
         }
-        if let Some(old) = old {
-            let mut vals: Vec<_> = key.0.to_vec();
-            vals.push(old);
-            out.push(Delta::delete(Tuple::new(vals)));
-        }
-        if let Some(new) = new {
-            let mut vals: Vec<_> = key.0.to_vec();
-            vals.push(new);
-            out.push(Delta::insert(Tuple::new(vals)));
+        for key in self.touched.drain(..) {
+            let old = self.old_aggs.remove(&key).unwrap_or(None);
+            let new = self.groups.get(&key).and_then(|g| g.aggregate(self.kind));
+            if old == new {
+                continue;
+            }
+            if let Some(old) = old {
+                out.push(Delta::delete(key.with_appended(old)));
+            }
+            if let Some(new) = new {
+                out.push(Delta::insert(key.with_appended(new)));
+            }
         }
     }
 
@@ -200,11 +267,13 @@ impl Distinct {
 }
 
 impl Operator for Distinct {
-    fn on_delta(&mut self, _port: usize, delta: &Delta, out: &mut Vec<Delta>) {
-        match self.state.apply(delta) {
-            Visibility::Appeared => out.push(Delta::insert(delta.tuple.clone())),
-            Visibility::Disappeared => out.push(Delta::delete(delta.tuple.clone())),
-            Visibility::Unchanged => {}
+    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+        for delta in deltas {
+            match self.state.apply(delta) {
+                Visibility::Appeared => out.push(Delta::insert(delta.tuple.clone())),
+                Visibility::Disappeared => out.push(Delta::delete(delta.tuple.clone())),
+                Visibility::Unchanged => {}
+            }
         }
     }
 
@@ -225,13 +294,21 @@ impl Union {
 }
 
 impl Operator for Union {
-    fn on_delta(&mut self, port: usize, delta: &Delta, out: &mut Vec<Delta>) {
+    fn on_batch(&mut self, port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
         assert!(port < self.arity, "union port {port} out of range");
-        out.push(delta.clone());
+        out.extend(deltas.iter().filter(|d| d.count != 0).cloned());
     }
 
     fn arity(&self) -> usize {
         self.arity
+    }
+
+    fn is_passthrough(&self) -> bool {
+        true
+    }
+
+    fn coalesces_input(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &'static str {
@@ -246,7 +323,13 @@ mod tests {
 
     fn run(op: &mut dyn Operator, port: usize, d: Delta) -> Vec<Delta> {
         let mut out = Vec::new();
-        op.on_delta(port, &d, &mut out);
+        op.on_batch(port, std::slice::from_ref(&d), &mut out);
+        out
+    }
+
+    fn run_batch(op: &mut dyn Operator, port: usize, ds: &[Delta]) -> Vec<Delta> {
+        let mut out = Vec::new();
+        op.on_batch(port, ds, &mut out);
         out
     }
 
@@ -288,6 +371,34 @@ mod tests {
     }
 
     #[test]
+    fn join_batch_probes_constant_other_side() {
+        let mut j = HashJoin::new(vec![0], vec![0]);
+        run(&mut j, 1, Delta::insert(ints(&[1, 20])));
+        // Two left deltas in one batch each join the same right state.
+        let out = run_batch(
+            &mut j,
+            0,
+            &[Delta::insert(ints(&[1, 10])), Delta::insert(ints(&[1, 11]))],
+        );
+        assert_eq!(
+            out,
+            vec![
+                Delta::insert(ints(&[1, 10, 1, 20])),
+                Delta::insert(ints(&[1, 11, 1, 20])),
+            ]
+        );
+    }
+
+    #[test]
+    fn join_skips_zero_count_deltas() {
+        let mut j = HashJoin::new(vec![0], vec![0]);
+        run(&mut j, 1, Delta::insert(ints(&[1, 20])));
+        let out = run(&mut j, 0, Delta::with_count(ints(&[1, 10]), 0));
+        assert!(out.is_empty());
+        assert_eq!(j.state_size(), 1); // the zero delta was not applied
+    }
+
+    #[test]
     fn min_agg_emits_update_on_new_minimum() {
         let mut a = GroupAgg::new(vec![0], 1, AggKind::Min);
         let out = run(&mut a, 0, Delta::insert(ints(&[1, 10])));
@@ -317,6 +428,30 @@ mod tests {
         assert_eq!(
             a.group_state(&ints(&[1])).unwrap().min(),
             Some(&Val::Int(10))
+        );
+    }
+
+    #[test]
+    fn min_agg_batch_emits_one_update_per_group() {
+        let mut a = GroupAgg::new(vec![0], 1, AggKind::Min);
+        run(&mut a, 0, Delta::insert(ints(&[1, 10])));
+        // A transient lower minimum inserted and deleted within one
+        // batch leaves the aggregate unchanged: no output at all.
+        let out = run_batch(
+            &mut a,
+            0,
+            &[Delta::insert(ints(&[1, 5])), Delta::delete(ints(&[1, 5]))],
+        );
+        assert!(out.is_empty(), "intermediate update leaked: {out:?}");
+        // A batch that lands on a new minimum emits exactly one update.
+        let out = run_batch(
+            &mut a,
+            0,
+            &[Delta::insert(ints(&[1, 7])), Delta::insert(ints(&[1, 3]))],
+        );
+        assert_eq!(
+            out,
+            vec![Delta::delete(ints(&[1, 10])), Delta::insert(ints(&[1, 3]))]
         );
     }
 

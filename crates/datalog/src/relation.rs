@@ -10,10 +10,17 @@ use reopt_common::FxHashMap;
 use crate::delta::Delta;
 use crate::value::Tuple;
 
-/// A counted multiset of tuples.
+/// A counted multiset of tuples. Visible (positive-count) and
+/// negative-count entry totals are maintained incrementally, so
+/// [`Multiset::len`], [`Multiset::is_empty`] and
+/// [`Multiset::has_negative_counts`] are O(1).
 #[derive(Clone, Debug, Default)]
 pub struct Multiset {
     counts: FxHashMap<Tuple, i64>,
+    /// Entries with count > 0.
+    visible: usize,
+    /// Entries with count < 0 (out-of-order deletions in flight).
+    negative: usize,
 }
 
 /// How applying a delta changed a tuple's *visibility* (positivity of its
@@ -36,14 +43,31 @@ impl Multiset {
 
     /// Applies a delta, returning the visibility transition.
     pub fn apply(&mut self, delta: &Delta) -> Visibility {
+        if delta.count == 0 {
+            return Visibility::Unchanged;
+        }
         let entry = self.counts.entry(delta.tuple.clone()).or_insert(0);
-        let before = *entry > 0;
+        let before = *entry;
         *entry += delta.count;
-        let after = *entry > 0;
-        if *entry == 0 {
+        let after = *entry;
+        if after == 0 {
             self.counts.remove(&delta.tuple);
         }
-        match (before, after) {
+        if (before > 0) != (after > 0) {
+            if after > 0 {
+                self.visible += 1;
+            } else {
+                self.visible -= 1;
+            }
+        }
+        if (before < 0) != (after < 0) {
+            if after < 0 {
+                self.negative += 1;
+            } else {
+                self.negative -= 1;
+            }
+        }
+        match (before > 0, after > 0) {
             (false, true) => Visibility::Appeared,
             (true, false) => Visibility::Disappeared,
             _ => Visibility::Unchanged,
@@ -63,19 +87,19 @@ impl Multiset {
         self.counts.iter().filter(|(_, &c)| c > 0).map(|(t, &c)| (t, c))
     }
 
-    /// Number of distinct visible tuples.
+    /// Number of distinct visible tuples. O(1).
     pub fn len(&self) -> usize {
-        self.iter().count()
+        self.visible
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.visible == 0
     }
 
     /// True if any count is negative (an out-of-order deletion is in
-    /// flight; fixpoints must end with none).
+    /// flight; fixpoints must end with none). O(1).
     pub fn has_negative_counts(&self) -> bool {
-        self.counts.values().any(|&c| c < 0)
+        self.negative > 0
     }
 
     /// Visible tuples, sorted (deterministic test output).
@@ -87,10 +111,16 @@ impl Multiset {
 }
 
 /// A multiset indexed by a key projection — join-side state.
+///
+/// The index is keyed by the *hash of the key columns*, computed
+/// directly from each tuple ([`Tuple::hash_cols`]) — no key tuple is
+/// ever materialized. Hash buckets store full tuples; probes re-check
+/// key-column equality, so colliding keys sharing a bucket stay correct.
 #[derive(Clone, Debug, Default)]
 pub struct IndexedMultiset {
     key_cols: Vec<usize>,
-    by_key: FxHashMap<Tuple, FxHashMap<Tuple, i64>>,
+    by_key: FxHashMap<u64, FxHashMap<Tuple, i64>>,
+    total: usize,
 }
 
 impl IndexedMultiset {
@@ -98,38 +128,57 @@ impl IndexedMultiset {
         IndexedMultiset {
             key_cols,
             by_key: FxHashMap::default(),
+            total: 0,
         }
     }
 
-    pub fn key_of(&self, tuple: &Tuple) -> Tuple {
-        tuple.project(&self.key_cols)
+    /// The columns this side is keyed on.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
     }
 
     /// Applies a delta to the indexed state.
     pub fn apply(&mut self, delta: &Delta) {
-        let key = self.key_of(&delta.tuple);
-        let group = self.by_key.entry(key.clone()).or_default();
+        if delta.count == 0 {
+            return;
+        }
+        let h = delta.tuple.hash_cols(&self.key_cols);
+        let group = self.by_key.entry(h).or_default();
+        let before = group.len();
         let entry = group.entry(delta.tuple.clone()).or_insert(0);
         *entry += delta.count;
         if *entry == 0 {
             group.remove(&delta.tuple);
+            self.total -= 1;
             if group.is_empty() {
-                self.by_key.remove(&key);
+                self.by_key.remove(&h);
             }
+        } else {
+            self.total += group.len() - before;
         }
     }
 
-    /// Matching tuples (with counts, including transiently negative
-    /// ones — the bilinear join form needs raw counts).
-    pub fn matches(&self, key: &Tuple) -> impl Iterator<Item = (&Tuple, i64)> {
-        self.by_key
-            .get(key)
-            .into_iter()
-            .flat_map(|g| g.iter().map(|(t, &c)| (t, c)))
+    /// Tuples whose key columns equal `probe[probe_cols]` (with counts,
+    /// including transiently negative ones — the bilinear join form
+    /// needs raw counts). The probe is a tuple from the *other* side
+    /// together with that side's key columns; no key tuple is built.
+    pub fn matches<'a>(
+        &'a self,
+        probe: &'a Tuple,
+        probe_cols: &'a [usize],
+    ) -> impl Iterator<Item = (&'a Tuple, i64)> + 'a {
+        let h = probe.hash_cols(probe_cols);
+        self.by_key.get(&h).into_iter().flat_map(move |group| {
+            group
+                .iter()
+                .filter(move |(t, _)| t.cols_eq(&self.key_cols, probe, probe_cols))
+                .map(|(t, &c)| (t, c))
+        })
     }
 
+    /// Distinct tuples currently stored (any count sign). O(1).
     pub fn total_tuples(&self) -> usize {
-        self.by_key.values().map(|g| g.len()).sum()
+        self.total
     }
 }
 
@@ -171,18 +220,59 @@ mod tests {
     }
 
     #[test]
+    fn running_len_tracks_multi_count_transitions() {
+        let mut m = Multiset::new();
+        let t = ints(&[9]);
+        m.apply(&Delta::with_count(t.clone(), 3));
+        assert_eq!(m.len(), 1);
+        m.apply(&Delta::with_count(t.clone(), -5)); // 3 -> -2: visible and negative
+        assert_eq!(m.len(), 0);
+        assert!(m.has_negative_counts());
+        m.apply(&Delta::with_count(t.clone(), 2)); // -2 -> 0: entry gone
+        assert_eq!(m.len(), 0);
+        assert!(!m.has_negative_counts());
+        assert_eq!(m.count(&t), 0);
+    }
+
+    #[test]
+    fn zero_count_delta_is_a_no_op() {
+        let mut m = Multiset::new();
+        assert_eq!(
+            m.apply(&Delta::with_count(ints(&[1]), 0)),
+            Visibility::Unchanged
+        );
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.count(&ints(&[1])), 0);
+    }
+
+    #[test]
     fn indexed_multiset_matches_by_key() {
         let mut m = IndexedMultiset::new(vec![0]);
         m.apply(&Delta::insert(ints(&[1, 10])));
         m.apply(&Delta::insert(ints(&[1, 11])));
         m.apply(&Delta::insert(ints(&[2, 20])));
+        // Probe as the "other side" would: key in column 0 of the probe.
         let matches: Vec<i64> = m
-            .matches(&ints(&[1]))
+            .matches(&ints(&[1, 99]), &[0])
             .map(|(t, _)| t.get(1).as_int())
             .collect();
         assert_eq!(matches.len(), 2);
         assert!(matches.contains(&10) && matches.contains(&11));
-        assert_eq!(m.matches(&ints(&[3])).count(), 0);
+        assert_eq!(m.matches(&ints(&[3, 0]), &[0]).count(), 0);
+    }
+
+    #[test]
+    fn indexed_multiset_probes_with_differing_columns() {
+        // Left keyed on col 1; probe tuples carry the key in col 0.
+        let mut m = IndexedMultiset::new(vec![1]);
+        m.apply(&Delta::insert(ints(&[10, 7])));
+        m.apply(&Delta::insert(ints(&[11, 7])));
+        let hits: Vec<i64> = m
+            .matches(&ints(&[7, 0]), &[0])
+            .map(|(t, _)| t.get(0).as_int())
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&10) && hits.contains(&11));
     }
 
     #[test]

@@ -1,9 +1,24 @@
 //! Tuples and values flowing through the dataflow engine.
+//!
+//! The tuple representation is the innermost allocation site of the
+//! whole system: every delta, every projection, every join key and every
+//! join output constructs one. Short tuples of *scalar* values (up to
+//! [`INLINE_CAP`] `Int`/`Cost` values — which covers every relation the
+//! optimizer encoding and the test networks emit) are therefore stored
+//! inline as packed 64-bit words: 48 bytes, `memcpy`-clonable, no heap
+//! traffic and no drop glue. Tuples that are longer or contain strings
+//! spill to a shared `Arc<[Val]>`.
+//!
+//! The representation is **canonical**: a given logical value sequence
+//! always packs the same way (scalar-and-short ⟺ inline), so equality
+//! and hashing can specialize per representation without cross-checks.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use reopt_common::Cost;
+use reopt_common::{Cost, FxHasher};
 
 /// A single value. Totally ordered and hashable (required by join keys
 /// and min/max aggregation).
@@ -63,45 +78,366 @@ impl fmt::Display for Val {
     }
 }
 
-/// A tuple: an immutable, cheaply clonable value sequence.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Tuple(pub Arc<[Val]>);
+/// Tuples up to this many scalar (`Int`/`Cost`) values are stored inline
+/// with no heap allocation.
+pub const INLINE_CAP: usize = 4;
+
+/// Inline storage: up to [`INLINE_CAP`] scalar values packed as raw
+/// 64-bit words plus a type-tag bitmask. `Copy` — cloning a scalar tuple
+/// is a plain memcpy with no refcounts and no drop glue.
+#[derive(Clone, Copy, Debug)]
+struct Scalars {
+    len: u8,
+    /// Bit `i` set ⇒ `words[i]` is the bit pattern of a [`Cost`];
+    /// clear ⇒ an `Int`. Bits at or above `len` are always clear.
+    cost_mask: u8,
+    words: [i64; INLINE_CAP],
+}
+
+impl Scalars {
+    const EMPTY: Scalars = Scalars {
+        len: 0,
+        cost_mask: 0,
+        words: [0; INLINE_CAP],
+    };
+
+    #[inline]
+    fn is_cost(&self, i: usize) -> bool {
+        self.cost_mask >> i & 1 == 1
+    }
+
+    #[inline]
+    fn val(&self, i: usize) -> Val {
+        assert!(
+            i < self.len as usize,
+            "index {i} out of bounds for tuple of {}",
+            self.len
+        );
+        if self.is_cost(i) {
+            Val::Cost(Cost::new(f64::from_bits(self.words[i] as u64)))
+        } else {
+            Val::Int(self.words[i])
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, word: i64, is_cost: bool) {
+        let i = self.len as usize;
+        debug_assert!(i < INLINE_CAP);
+        self.words[i] = word;
+        self.cost_mask |= (is_cost as u8) << i;
+        self.len += 1;
+    }
+}
+
+/// Packs a scalar value into its canonical word: `Int` verbatim, `Cost`
+/// as its bit pattern with `-0.0` normalized to `0.0` (so word equality
+/// coincides with `Cost` equality; NaN is excluded by `Cost` itself).
+/// `None` for strings, which cannot pack.
+#[inline]
+fn pack(v: &Val) -> Option<(i64, bool)> {
+    match v {
+        Val::Int(i) => Some((*i, false)),
+        Val::Cost(c) => {
+            let x = c.value();
+            let x = if x == 0.0 { 0.0 } else { x };
+            Some((x.to_bits() as i64, true))
+        }
+        Val::Str(_) => None,
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    Inline(Scalars),
+    Spilled(Arc<[Val]>),
+}
+
+/// A tuple: an immutable, cheaply clonable value sequence. All
+/// comparisons, hashing and ordering are over the logical value
+/// sequence.
+#[derive(Clone)]
+pub struct Tuple(Repr);
 
 impl Tuple {
     pub fn new(vals: Vec<Val>) -> Tuple {
-        Tuple(vals.into())
+        Tuple::from_slice(&vals)
     }
 
+    pub fn from_slice(vals: &[Val]) -> Tuple {
+        if vals.len() <= INLINE_CAP {
+            let mut s = Scalars::EMPTY;
+            let all_scalar = vals.iter().all(|v| match pack(v) {
+                Some((w, is_c)) => {
+                    s.push(w, is_c);
+                    true
+                }
+                None => false,
+            });
+            if all_scalar {
+                return Tuple(Repr::Inline(s));
+            }
+        }
+        Tuple(Repr::Spilled(vals.iter().cloned().collect()))
+    }
+
+    #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline(s) => s.len as usize,
+            Repr::Spilled(vals) => vals.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
-    pub fn get(&self, i: usize) -> &Val {
-        &self.0[i]
+    /// The value at position `i` (owned; inline scalars are
+    /// reconstructed from their packed words).
+    #[inline]
+    pub fn get(&self, i: usize) -> Val {
+        match &self.0 {
+            Repr::Inline(s) => s.val(i),
+            Repr::Spilled(vals) => vals[i].clone(),
+        }
     }
 
-    /// Projects the given column indexes into a new tuple.
+    /// Iterates the tuple's values (owned).
+    pub fn values(&self) -> impl Iterator<Item = Val> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Projects the given column indexes into a new tuple, building the
+    /// target representation directly (no intermediate `Vec` and, for
+    /// scalar sources, no allocation at all).
     pub fn project(&self, cols: &[usize]) -> Tuple {
-        Tuple::new(cols.iter().map(|&c| self.0[c].clone()).collect())
+        match &self.0 {
+            Repr::Inline(s) if cols.len() <= INLINE_CAP => {
+                let mut out = Scalars::EMPTY;
+                for &c in cols {
+                    assert!(
+                        c < s.len as usize,
+                        "column {c} out of bounds for tuple of {}",
+                        s.len
+                    );
+                    out.push(s.words[c], s.is_cost(c));
+                }
+                Tuple(Repr::Inline(out))
+            }
+            Repr::Spilled(vals) if cols.len() <= INLINE_CAP => {
+                let mut out = Scalars::EMPTY;
+                let all_scalar = cols.iter().all(|&c| match pack(&vals[c]) {
+                    Some((w, is_c)) => {
+                        out.push(w, is_c);
+                        true
+                    }
+                    None => false,
+                });
+                if all_scalar {
+                    Tuple(Repr::Inline(out))
+                } else {
+                    // `slice::Iter` is `TrustedLen`: one allocation,
+                    // straight into the `Arc`.
+                    Tuple(Repr::Spilled(
+                        cols.iter().map(|&c| vals[c].clone()).collect(),
+                    ))
+                }
+            }
+            _ => Tuple(Repr::Spilled(
+                cols.iter().map(|&c| self.get(c)).collect(),
+            )),
+        }
     }
 
     /// Concatenates two tuples (join output).
     pub fn concat(&self, other: &Tuple) -> Tuple {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.0, &other.0) {
+            if a.len as usize + b.len as usize <= INLINE_CAP {
+                let mut out = *a;
+                for i in 0..b.len as usize {
+                    out.push(b.words[i], b.is_cost(i));
+                }
+                return Tuple(Repr::Inline(out));
+            }
+        }
         let mut vals = Vec::with_capacity(self.len() + other.len());
-        vals.extend_from_slice(&self.0);
-        vals.extend_from_slice(&other.0);
+        vals.extend(self.values());
+        vals.extend(other.values());
         Tuple::new(vals)
+    }
+
+    /// This tuple extended by one trailing value (aggregate outputs:
+    /// `key ++ [agg]`).
+    pub fn with_appended(&self, v: Val) -> Tuple {
+        if let Repr::Inline(s) = &self.0 {
+            if (s.len as usize) < INLINE_CAP {
+                if let Some((w, is_c)) = pack(&v) {
+                    let mut out = *s;
+                    out.push(w, is_c);
+                    return Tuple(Repr::Inline(out));
+                }
+            }
+        }
+        let mut vals = Vec::with_capacity(self.len() + 1);
+        vals.extend(self.values());
+        vals.push(v);
+        Tuple::new(vals)
+    }
+
+    /// The tuple's FxHash — the batch coalescer's index key.
+    /// Deterministic across runs.
+    pub fn fx_hash(&self) -> u64 {
+        let mut h = FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// Hashes the given columns directly — what a join index keys on —
+    /// without materializing a key tuple. The per-value encoding is
+    /// canonical across representations, so a probe tuple and a stored
+    /// tuple with equal key *values* always hash alike. Deterministic
+    /// (FxHash).
+    pub fn hash_cols(&self, cols: &[usize]) -> u64 {
+        let mut h = FxHasher::default();
+        match &self.0 {
+            Repr::Inline(s) => {
+                for &c in cols {
+                    hash_scalar_word(&mut h, s.is_cost(c), s.words[c]);
+                }
+            }
+            Repr::Spilled(vals) => {
+                for &c in cols {
+                    hash_val_canonical(&mut h, &vals[c]);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Column-wise equality of `self[self_cols]` and `other[other_cols]`.
+    pub fn cols_eq(&self, self_cols: &[usize], other: &Tuple, other_cols: &[usize]) -> bool {
+        debug_assert_eq!(self_cols.len(), other_cols.len());
+        self_cols
+            .iter()
+            .zip(other_cols)
+            .all(|(&i, &j)| val_eq(self, i, other, j))
+    }
+}
+
+/// Canonical per-value hashing for packed scalars: a type tag byte, then
+/// the packed word.
+#[inline]
+fn hash_scalar_word<H: Hasher>(h: &mut H, is_cost: bool, word: i64) {
+    h.write_u8(is_cost as u8);
+    h.write_u64(word as u64);
+}
+
+/// Canonical per-value hashing for unpacked values, matching
+/// [`hash_scalar_word`] for scalars.
+fn hash_val_canonical<H: Hasher>(h: &mut H, v: &Val) {
+    match pack(v) {
+        Some((w, is_c)) => hash_scalar_word(h, is_c, w),
+        None => {
+            h.write_u8(2);
+            if let Val::Str(s) = v {
+                s.hash(h);
+            }
+        }
+    }
+}
+
+/// Value equality across arbitrary representations, without
+/// materializing `Val`s.
+#[inline]
+fn val_eq(a: &Tuple, i: usize, b: &Tuple, j: usize) -> bool {
+    match (&a.0, &b.0) {
+        (Repr::Inline(x), Repr::Inline(y)) => {
+            x.is_cost(i) == y.is_cost(j) && x.words[i] == y.words[j]
+        }
+        (Repr::Spilled(x), Repr::Spilled(y)) => x[i] == y[j],
+        (Repr::Inline(x), Repr::Spilled(y)) => packed_eq_val(x, i, &y[j]),
+        (Repr::Spilled(x), Repr::Inline(y)) => packed_eq_val(y, j, &x[i]),
+    }
+}
+
+#[inline]
+fn packed_eq_val(s: &Scalars, i: usize, v: &Val) -> bool {
+    match pack(v) {
+        Some((w, is_c)) => s.is_cost(i) == is_c && s.words[i] == w,
+        None => false,
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::Inline(a), Repr::Inline(b)) => {
+                a.len == b.len
+                    && a.cost_mask == b.cost_mask
+                    && a.words[..a.len as usize] == b.words[..b.len as usize]
+            }
+            (Repr::Spilled(a), Repr::Spilled(b)) => a == b,
+            // Canonical representation: a scalar-short tuple is always
+            // inline, so differing representations differ in content.
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Equal tuples share a representation (canonical packing), so
+        // each arm only needs internal consistency.
+        match &self.0 {
+            Repr::Inline(s) => {
+                state.write_u8(s.len);
+                state.write_u8(s.cost_mask);
+                for &w in &s.words[..s.len as usize] {
+                    state.write_u64(w as u64);
+                }
+            }
+            Repr::Spilled(vals) => {
+                state.write_usize(vals.len());
+                for v in vals.iter() {
+                    hash_val_canonical(state, v);
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Tuple) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Tuple) -> Ordering {
+        // Fast path: two all-int inline tuples order as their raw words.
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.0, &other.0) {
+            if a.cost_mask == 0 && b.cost_mask == 0 {
+                return a.words[..a.len as usize].cmp(&b.words[..b.len as usize]);
+            }
+        }
+        let (la, lb) = (self.len(), other.len());
+        for i in 0..la.min(lb) {
+            match self.get(i).cmp(&other.get(i)) {
+                Ordering::Equal => {}
+                non_eq => return non_eq,
+            }
+        }
+        la.cmp(&lb)
     }
 }
 
 impl fmt::Debug for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.values().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -114,12 +450,20 @@ impl fmt::Debug for Tuple {
 /// Convenience constructor: `tup![1, "x", 3]`-style building is verbose
 /// without a macro; this free function keeps call sites short.
 pub fn tup<const N: usize>(vals: [Val; N]) -> Tuple {
-    Tuple::new(vals.to_vec())
+    Tuple::from_slice(&vals)
 }
 
 /// Integer tuple shorthand for tests and examples.
 pub fn ints(vals: &[i64]) -> Tuple {
-    Tuple::new(vals.iter().map(|&v| Val::Int(v)).collect())
+    if vals.len() <= INLINE_CAP {
+        let mut s = Scalars::EMPTY;
+        for &v in vals {
+            s.push(v, false);
+        }
+        Tuple(Repr::Inline(s))
+    } else {
+        Tuple(Repr::Spilled(vals.iter().map(|&v| Val::Int(v)).collect()))
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +498,83 @@ mod tests {
         s.insert(ints(&[1, 2]));
         assert!(s.contains(&ints(&[1, 2])));
         assert!(!s.contains(&ints(&[2, 1])));
+    }
+
+    #[test]
+    fn inline_and_spilled_agree() {
+        // 5 values spill; 4 stay inline. Equality/ord are over the
+        // logical sequence either way.
+        let spilled = ints(&[1, 2, 3, 4, 5]);
+        assert_eq!(spilled.len(), 5);
+        assert_eq!(spilled.project(&[0, 1, 2, 3]), ints(&[1, 2, 3, 4]));
+        let long = ints(&[1, 2, 3]).concat(&ints(&[4, 5]));
+        assert_eq!(long, spilled);
+        assert_eq!(long.get(4), Val::Int(5));
+        // Ordering is lexicographic across representations.
+        assert!(ints(&[1, 2, 3, 4]) < spilled);
+        assert!(ints(&[9]) > spilled);
+    }
+
+    #[test]
+    fn costs_pack_inline() {
+        let t = tup([Val::Int(1), Val::cost(2.5)]);
+        assert_eq!(t.get(0), Val::Int(1));
+        assert_eq!(t.get(1), Val::cost(2.5));
+        assert_eq!(t, tup([Val::Int(1), Val::cost(2.5)]));
+        // Int and Cost of the same numeric value are distinct values.
+        assert_ne!(tup([Val::Int(1)]), tup([Val::cost(1.0)]));
+        // Negative zero packs canonically.
+        assert_eq!(tup([Val::cost(-0.0)]), tup([Val::cost(0.0)]));
+        assert_eq!(
+            tup([Val::cost(-0.0)]).fx_hash(),
+            tup([Val::cost(0.0)]).fx_hash()
+        );
+    }
+
+    #[test]
+    fn strings_spill_and_compare_across_reprs() {
+        let s = tup([Val::str("a"), Val::Int(1)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), Val::str("a"));
+        // A scalar tuple never equals a string-bearing one.
+        assert_ne!(s, ints(&[0, 1]));
+        // Mixed-repr ordering follows Val order (Int < Str < Cost).
+        assert!(ints(&[0, 1]) < s);
+        assert!(s < tup([Val::cost(0.0)]).concat(&ints(&[1])));
+        // Projecting the scalar column of a spilled tuple re-packs it.
+        assert_eq!(s.project(&[1]), ints(&[1]));
+    }
+
+    #[test]
+    fn with_appended_matches_concat() {
+        let t = ints(&[7, 8]);
+        assert_eq!(t.with_appended(Val::Int(9)), ints(&[7, 8, 9]));
+        let long = ints(&[1, 2, 3, 4]);
+        assert_eq!(long.with_appended(Val::Int(5)), ints(&[1, 2, 3, 4, 5]));
+        assert_eq!(
+            t.with_appended(Val::str("x")),
+            tup([Val::Int(7), Val::Int(8), Val::str("x")])
+        );
+    }
+
+    #[test]
+    fn hash_cols_matches_projected_key_equality() {
+        let a = ints(&[1, 10, 3]);
+        let b = ints(&[5, 1, 3]);
+        // a[0,2] == b[1,2] as key columns.
+        assert!(a.cols_eq(&[0, 2], &b, &[1, 2]));
+        assert_eq!(a.hash_cols(&[0, 2]), b.hash_cols(&[1, 2]));
+        assert!(!a.cols_eq(&[1, 2], &b, &[1, 2]));
+        // Key hashing is representation-independent: the same column
+        // values hash alike from an inline and a spilled tuple.
+        let spilled = tup([Val::str("pad"), Val::Int(1), Val::Int(3)]);
+        assert!(spilled.cols_eq(&[1, 2], &a, &[0, 2]));
+        assert_eq!(spilled.hash_cols(&[1, 2]), a.hash_cols(&[0, 2]));
+    }
+
+    #[test]
+    fn project_beyond_inline_cap() {
+        let t = ints(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.project(&[5, 4, 3, 2, 1]), ints(&[5, 4, 3, 2, 1]));
     }
 }

@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 
 use reopt_datalog::value::{ints, Tuple};
-use reopt_datalog::{AggKind, Dataflow, Distinct, GroupAgg, HashJoin, Map, Union};
+use reopt_datalog::{
+    AggKind, Dataflow, Distinct, GroupAgg, HashJoin, Map, NodeId, SchedulerMode, SinkId, Union,
+};
 
 /// A raw event: (side, key, payload, insert?).
 type Event = (bool, u8, u8, bool);
@@ -22,6 +24,43 @@ fn apply_naive(state: &mut Vec<(i64, i64)>, key: u8, val: u8, insert: bool) {
     } else if let Some(pos) = state.iter().position(|r| *r == row) {
         state.swap_remove(pos);
     }
+}
+
+/// Builds the transitive-closure network under the given scheduler.
+fn tc_network(mode: SchedulerMode) -> (Dataflow, NodeId, SinkId) {
+    let mut df = Dataflow::with_mode(mode);
+    let edge = df.add_input("edge");
+    let union = df.add_op_unwired(Union::new(2));
+    df.connect(edge, union, 0);
+    let path = df.add_op(Distinct::new(), &[union]);
+    let join = df.add_op_unwired(HashJoin::new(vec![1], vec![0]));
+    df.connect(path, join, 0);
+    df.connect(edge, join, 1);
+    let proj = df.add_op(Map::project(vec![0, 3]), &[join]);
+    df.connect(proj, union, 1);
+    let sink = df.add_sink(path);
+    (df, edge, sink)
+}
+
+/// Builds the min-view network under the given scheduler.
+fn min_network(mode: SchedulerMode) -> (Dataflow, NodeId, SinkId) {
+    let mut df = Dataflow::with_mode(mode);
+    let costs = df.add_input("costs");
+    let agg = df.add_op(GroupAgg::new(vec![0], 1, AggKind::Min), &[costs]);
+    let sink = df.add_sink(agg);
+    (df, costs, sink)
+}
+
+/// Sink contents with multiplicities, sorted — the observational state
+/// two schedulers must agree on.
+fn sink_counted(df: &Dataflow, sink: SinkId) -> Vec<(Tuple, i64)> {
+    let mut v: Vec<(Tuple, i64)> = df
+        .sink(sink)
+        .iter()
+        .map(|(t, c)| (t.clone(), c))
+        .collect();
+    v.sort();
+    v
 }
 
 proptest! {
@@ -108,6 +147,86 @@ proptest! {
         }
         expected.sort();
         prop_assert_eq!(df.sink(sink).sorted(), expected);
+    }
+
+    /// Batched + coalesced execution is observationally identical to the
+    /// per-delta FIFO scheduler (the seed's semantics) on the recursive
+    /// transitive-closure network: same sink contents *with counts* and
+    /// no residual negative counts, over random insert/delete sequences.
+    /// (Deletions of absent edges and duplicate edge insertions are
+    /// filtered here — recursion over them need not converge; the
+    /// min-view test below covers that regime on an acyclic network.)
+    #[test]
+    fn batched_scheduler_equivalent_on_tc(evts in events(30), step_runs in any::<bool>()) {
+        let (mut batched, b_edge, b_sink) = tc_network(SchedulerMode::Batched);
+        let (mut per_delta, p_edge, p_sink) = tc_network(SchedulerMode::PerDelta);
+        let mut live: Vec<(i64, i64)> = vec![];
+        for (_, a, b, insert) in evts {
+            let (a, b) = (a.min(b), a.max(b));
+            if a == b {
+                continue; // keep the graph acyclic so counting terminates
+            }
+            // Only delete present edges (a deletion with no matching
+            // insertion never converges on a recursive rule).
+            let present = live.contains(&(a as i64, b as i64));
+            if insert == present {
+                continue;
+            }
+            apply_naive(&mut live, a, b, insert);
+            let tup = ints(&[a as i64, b as i64]);
+            for (df, input) in [(&mut batched, b_edge), (&mut per_delta, p_edge)] {
+                if insert {
+                    df.insert(input, tup.clone());
+                } else {
+                    df.delete(input, tup.clone());
+                }
+            }
+            // Exercise both per-event fixpoints and one big final run.
+            if step_runs {
+                batched.run().unwrap();
+                per_delta.run().unwrap();
+            }
+        }
+        batched.run().unwrap();
+        per_delta.run().unwrap();
+        prop_assert!(!batched.sink(b_sink).has_negative_counts());
+        prop_assert!(!per_delta.sink(p_sink).has_negative_counts());
+        prop_assert_eq!(
+            sink_counted(&batched, b_sink),
+            sink_counted(&per_delta, p_sink)
+        );
+    }
+
+    /// Same equivalence on the min-view network, where deltas carry
+    /// aggregate updates (delete-old/insert-new pairs) — here deletions
+    /// of absent tuples are fair game (negative counts just sit in the
+    /// aggregate state).
+    #[test]
+    fn batched_scheduler_equivalent_on_min_view(evts in events(40), step_runs in any::<bool>()) {
+        let (mut batched, b_in, b_sink) = min_network(SchedulerMode::Batched);
+        let (mut per_delta, p_in, p_sink) = min_network(SchedulerMode::PerDelta);
+        for (_, key, val, insert) in evts {
+            let tup = ints(&[key as i64, val as i64]);
+            for (df, input) in [(&mut batched, b_in), (&mut per_delta, p_in)] {
+                if insert {
+                    df.insert(input, tup.clone());
+                } else {
+                    df.delete(input, tup.clone());
+                }
+            }
+            if step_runs {
+                batched.run().unwrap();
+                per_delta.run().unwrap();
+            }
+        }
+        batched.run().unwrap();
+        per_delta.run().unwrap();
+        prop_assert!(!batched.sink(b_sink).has_negative_counts());
+        prop_assert!(!per_delta.sink(p_sink).has_negative_counts());
+        prop_assert_eq!(
+            sink_counted(&batched, b_sink),
+            sink_counted(&per_delta, p_sink)
+        );
     }
 
     /// Incremental transitive closure == recomputed closure of the final

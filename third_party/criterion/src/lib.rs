@@ -8,7 +8,16 @@
 //! median-of-samples wall-clock measurement printed to stdout — adequate for
 //! relative comparisons; swap in real criterion when network access exists.
 
+//! Harness flags (environment variables, read at run time):
+//! - `REOPT_BENCH_SMOKE=1` — force a 1-sample, minimal-budget config on
+//!   every group regardless of what the bench requests (CI smoke runs).
+//! - `REOPT_BENCH_JSON=<path>` — additionally write machine-readable
+//!   results (`{"name": ..., "median_ns": ...}` per bench) to `<path>`
+//!   when the binary exits, so perf baselines can be committed and
+//!   compared across PRs.
+
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -66,6 +75,57 @@ impl Default for Settings {
             measurement_time: Duration::from_secs(1),
             warm_up_time: Duration::from_millis(200),
         }
+    }
+}
+
+impl Settings {
+    /// The effective settings for a run: `REOPT_BENCH_SMOKE=1` clamps
+    /// every group to a single sample with a minimal time budget, no
+    /// matter what the bench configured.
+    fn effective(&self) -> Settings {
+        if smoke_mode() {
+            Settings {
+                sample_size: 1,
+                measurement_time: Duration::from_millis(20),
+                warm_up_time: Duration::from_millis(2),
+            }
+        } else {
+            self.clone()
+        }
+    }
+}
+
+fn smoke_mode() -> bool {
+    std::env::var_os("REOPT_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Results collected for the optional JSON report.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+/// Writes collected results to `$REOPT_BENCH_JSON` if set. Called by
+/// `criterion_main!` after all groups have run.
+pub fn flush_json_report() {
+    let Some(path) = std::env::var_os("REOPT_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke_mode() { "smoke" } else { "full" }
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ns\": {ns}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("failed to write bench report {path:?}: {e}");
+    } else {
+        println!("bench report written to {path:?}");
     }
 }
 
@@ -159,8 +219,9 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let settings = self.settings.effective();
         let mut b = Bencher {
-            settings: &self.settings,
+            settings: &settings,
             result: None,
         };
         f(&mut b);
@@ -172,7 +233,13 @@ impl BenchmarkGroup<'_> {
 
 fn report(name: &str, result: Option<Duration>) {
     match result {
-        Some(median) => println!("{name:<60} median {median:>12.2?}"),
+        Some(median) => {
+            println!("{name:<60} median {median:>12.2?}");
+            RESULTS
+                .lock()
+                .unwrap()
+                .push((name.to_string(), median.as_nanos()));
+        }
         None => println!("{name:<60} (no measurement: closure never called iter)"),
     }
 }
@@ -195,7 +262,7 @@ impl Criterion {
         id: impl Into<BenchmarkId>,
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        let settings = Settings::default();
+        let settings = Settings::default().effective();
         let mut b = Bencher {
             settings: &settings,
             result: None,
@@ -223,6 +290,7 @@ macro_rules! criterion_main {
             // `cargo test --benches` / `cargo bench -- <filter>` pass flags the
             // stand-in doesn't interpret; run everything regardless.
             $( $group(); )+
+            $crate::flush_json_report();
         }
     };
 }
