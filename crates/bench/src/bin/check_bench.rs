@@ -1,0 +1,114 @@
+//! Bench-regression gate: compares a freshly produced `REOPT_BENCH_JSON`
+//! report against a committed baseline and fails (exit 1) if any shared
+//! benchmark's median regressed beyond the tolerance.
+//!
+//! Usage: `check_bench <baseline.json> <current.json> [tolerance]`
+//! where `tolerance` is a fraction (default 0.25 = 25%). On top of the
+//! relative tolerance, a small absolute slack ([`ABS_SLACK_NS`]) is
+//! granted so microsecond-scale medians — whose run-to-run noise on a
+//! shared runner easily exceeds any sane percentage — cannot flake the
+//! gate; ms-scale medians are unaffected. Benchmarks present in the
+//! baseline but missing from the current run fail the gate (a silently
+//! dropped bench is not a pass); new benchmarks are reported and
+//! ignored.
+
+use std::process::ExitCode;
+
+/// Absolute regression slack: a median must exceed both the relative
+/// tolerance *and* this many nanoseconds over baseline to fail.
+const ABS_SLACK_NS: f64 = 2_000.0;
+
+/// Parses the criterion stand-in's report format: one
+/// `{"name": "...", "median_ns": N}` object per line.
+fn parse_report(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\":") else {
+            continue;
+        };
+        let rest = &line[name_at + 7..];
+        let open = rest.find('"').ok_or_else(|| format!("bad line: {line}"))?;
+        let rest = &rest[open + 1..];
+        let close = rest.find('"').ok_or_else(|| format!("bad line: {line}"))?;
+        let name = rest[..close].to_string();
+        let med_at = line
+            .find("\"median_ns\":")
+            .ok_or_else(|| format!("no median on line: {line}"))?;
+        let digits: String = line[med_at + 12..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        let ns: f64 = digits.parse().map_err(|e| format!("bad median ({e}): {line}"))?;
+        out.push((name, ns));
+    }
+    if out.is_empty() {
+        return Err(format!("no benchmark entries found in {path}"));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match args.as_slice() {
+        [b, c] | [b, c, _] => (b.as_str(), c.as_str()),
+        _ => {
+            return Err("usage: check_bench <baseline.json> <current.json> [tolerance]".into())
+        }
+    };
+    let tolerance: f64 = match args.get(2) {
+        Some(t) => t.parse().map_err(|e| format!("bad tolerance: {e}"))?,
+        None => 0.25,
+    };
+    let baseline = parse_report(baseline_path)?;
+    let current = parse_report(current_path)?;
+    let mut ok = true;
+    println!(
+        "{:<55} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    for (name, base_ns) in &baseline {
+        match current.iter().find(|(n, _)| n == name) {
+            None => {
+                println!("{name:<55} {base_ns:>12.0} {:>12} {:>8}  MISSING", "-", "-");
+                ok = false;
+            }
+            Some((_, cur_ns)) => {
+                let ratio = cur_ns / base_ns;
+                let verdict = if *cur_ns > base_ns * (1.0 + tolerance) + ABS_SLACK_NS {
+                    ok = false;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{name:<55} {base_ns:>12.0} {cur_ns:>12.0} {ratio:>8.2}  {verdict}"
+                );
+            }
+        }
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("{name:<55} (new, not in baseline — ignored)");
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench gate: all medians within tolerance");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench gate: regression detected");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("check_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

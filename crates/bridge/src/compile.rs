@@ -1,0 +1,1022 @@
+//! Generic rule-program → dataflow compiler.
+//!
+//! Takes a set of parsed [`Rule`]s (the IR of `reopt_core::rules_ir`),
+//! declared base relations, and a registry of external functions, and
+//! instantiates a [`Dataflow`] network:
+//!
+//! - every derived relation becomes `Union(rule outputs) → Distinct`
+//!   (set semantics with counting, so recursive rules terminate and
+//!   deletions retract exactly);
+//! - each rule body compiles left-to-right into a join tree:
+//!   constants/duplicate variables become filters, stored relations
+//!   [`HashJoin`] on the shared variables (an empty share is a cross
+//!   join), and `Fn_*` atoms become [`ExternalFn`] nodes that extend the
+//!   bindings with computed columns;
+//! - heads project bindings through a `Map`, evaluating constants,
+//!   subtraction chains and scalar `min<a,b>` combines; a one-argument
+//!   `min<x>`/`max<x>` head compiles to a (multi-column-key)
+//!   [`GroupAgg`] over the remaining head columns.
+//!
+//! A relation may be *both* derived and a base input ("seeded"): the
+//! input feeds port 0 of the relation's union — how `Bound(root)` is
+//! seeded in the paper's Figure 3 program.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use reopt_common::FxHashMap;
+use reopt_core::rules_ir::{AggFunc, Atom, Rule, Term};
+use reopt_datalog::{
+    AggKind, Dataflow, Delta, Distinct, ExternalFn, GroupAgg, HashJoin, Map, Multiset,
+    NodeId, RunStats, SinkId, Tuple, Union, Val,
+};
+
+/// The value standing in for the rules' `null` constant: a dedicated
+/// interned symbol. It joins and filters like any other value and can
+/// never collide with an `Int`/`Cost` column.
+pub fn null_value() -> Val {
+    Val::str("null")
+}
+
+/// The value encoding of the rules' `true`/`false` constants.
+pub fn bool_value(b: bool) -> Val {
+    Val::Int(b as i64)
+}
+
+fn const_value(t: &Term) -> Option<Val> {
+    match t {
+        Term::Str(s) => Some(Val::str(s)),
+        Term::Bool(b) => Some(bool_value(*b)),
+        Term::Null => Some(null_value()),
+        _ => None,
+    }
+}
+
+/// An external function body: receives the values of the atom's input
+/// positions and emits rows of values for its output positions.
+pub type ExternalBody = Rc<RefCell<dyn FnMut(&[Val], &mut dyn FnMut(&[Val]))>>;
+
+struct ExternalDef {
+    /// How many leading argument positions are inputs; the rest are
+    /// outputs produced by the body.
+    inputs: usize,
+    body: ExternalBody,
+}
+
+/// A compile failure.
+#[derive(Clone, Debug)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule compilation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError(msg.into()))
+}
+
+/// Builder for a [`RuleNetwork`].
+#[derive(Default)]
+pub struct NetworkBuilder {
+    rules: Vec<Rule>,
+    inputs: Vec<(String, usize)>,
+    externals: FxHashMap<String, ExternalDef>,
+    sinks: Vec<String>,
+}
+
+impl NetworkBuilder {
+    pub fn new() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// Adds parsed rules.
+    pub fn rules(mut self, rules: impl IntoIterator<Item = Rule>) -> NetworkBuilder {
+        self.rules.extend(rules);
+        self
+    }
+
+    /// Parses and adds rule texts.
+    pub fn rule_texts<'a>(
+        self,
+        texts: impl IntoIterator<Item = &'a str>,
+    ) -> Result<NetworkBuilder, CompileError> {
+        let parsed = reopt_core::rules_ir::parse_rules(texts)
+            .map_err(|e| CompileError(e.to_string()))?;
+        Ok(self.rules(parsed))
+    }
+
+    /// Declares a base (input) relation.
+    pub fn input(mut self, name: &str, arity: usize) -> NetworkBuilder {
+        self.inputs.push((name.to_string(), arity));
+        self
+    }
+
+    /// Registers an external function: the first `inputs` argument
+    /// positions of its atoms are inputs, the rest are outputs the body
+    /// emits. The body must be deterministic.
+    pub fn external(
+        mut self,
+        name: &str,
+        inputs: usize,
+        body: impl FnMut(&[Val], &mut dyn FnMut(&[Val])) + 'static,
+    ) -> NetworkBuilder {
+        self.externals.insert(
+            name.to_string(),
+            ExternalDef {
+                inputs,
+                body: Rc::new(RefCell::new(body)),
+            },
+        );
+        self
+    }
+
+    /// Requests a materialized sink on a relation.
+    pub fn sink(mut self, name: &str) -> NetworkBuilder {
+        self.sinks.push(name.to_string());
+        self
+    }
+
+    /// Compiles the program into a runnable network.
+    pub fn build(self) -> Result<RuleNetwork, CompileError> {
+        Compiler::new(self)?.compile()
+    }
+}
+
+struct RelInfo {
+    arity: usize,
+    /// Node downstream consumers read (input for EDB-only relations,
+    /// the post-union `Distinct` for derived ones).
+    read: NodeId,
+    /// Union collecting rule outputs (derived relations only).
+    union: Option<NodeId>,
+    next_port: usize,
+    input: Option<NodeId>,
+}
+
+struct Compiler {
+    b: NetworkBuilder,
+    df: Dataflow,
+    rels: FxHashMap<String, RelInfo>,
+}
+
+/// A partially compiled rule body: the node producing the current
+/// intermediate tuples and the variable each column holds.
+struct Binding {
+    node: NodeId,
+    vars: Vec<String>,
+}
+
+impl Binding {
+    fn col(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+}
+
+impl Compiler {
+    fn new(b: NetworkBuilder) -> Result<Compiler, CompileError> {
+        Ok(Compiler {
+            b,
+            df: Dataflow::new(),
+            rels: FxHashMap::default(),
+        })
+    }
+
+    fn compile(mut self) -> Result<RuleNetwork, CompileError> {
+        let rules = std::mem::take(&mut self.b.rules);
+        self.collect_relations(&rules)?;
+        for rule in &rules {
+            self.compile_rule(rule)?;
+        }
+        // Materialize requested sinks.
+        let mut sinks = FxHashMap::default();
+        for name in std::mem::take(&mut self.b.sinks) {
+            let rel = self
+                .rels
+                .get(&name)
+                .ok_or_else(|| CompileError(format!("sink on unknown relation `{name}`")))?;
+            sinks.insert(name.clone(), self.df.add_sink(rel.read));
+        }
+        let inputs = self
+            .rels
+            .iter()
+            .filter_map(|(n, r)| r.input.map(|id| (n.clone(), (id, r.arity))))
+            .collect();
+        Ok(RuleNetwork {
+            df: self.df,
+            inputs,
+            sinks,
+        })
+    }
+
+    /// Pass 1: derive every relation's arity, create input / union /
+    /// distinct nodes, and validate consistency.
+    fn collect_relations(&mut self, rules: &[Rule]) -> Result<(), CompileError> {
+        let mut arity: FxHashMap<String, usize> = FxHashMap::default();
+        let mut note = |name: &str, n: usize| -> Result<(), CompileError> {
+            match arity.insert(name.to_string(), n) {
+                Some(prev) if prev != n => err(format!(
+                    "relation `{name}` used with arities {prev} and {n}"
+                )),
+                _ => Ok(()),
+            }
+        };
+        for (name, n) in &self.b.inputs {
+            note(name, *n)?;
+        }
+        let mut rule_count: FxHashMap<&str, usize> = FxHashMap::default();
+        let mut agg_rule: FxHashMap<&str, bool> = FxHashMap::default();
+        let mut head_order: Vec<&str> = Vec::new();
+        for r in rules {
+            if r.head.is_external() {
+                return err(format!("{}: external head `{}`", r.label, r.head.relation));
+            }
+            note(&r.head.relation, r.head.arity())?;
+            if !rule_count.contains_key(r.head.relation.as_str()) {
+                head_order.push(&r.head.relation);
+            }
+            *rule_count.entry(&r.head.relation).or_insert(0) += 1;
+            let is_agg = matches!(
+                r.head_aggregate(),
+                Some((_, args)) if args.len() == 1
+            );
+            *agg_rule.entry(&r.head.relation).or_insert(false) |= is_agg;
+            for a in &r.body {
+                if a.is_external() {
+                    if !self.b.externals.contains_key(&a.relation) {
+                        return err(format!(
+                            "{}: unregistered external `{}`",
+                            r.label, a.relation
+                        ));
+                    }
+                } else {
+                    note(&a.relation, a.arity())?;
+                }
+            }
+        }
+        // Every non-external body relation must be derived or declared.
+        for r in rules {
+            for a in &r.body {
+                if !a.is_external()
+                    && !rule_count.contains_key(a.relation.as_str())
+                    && !self.b.inputs.iter().any(|(n, _)| n == &a.relation)
+                {
+                    return err(format!(
+                        "{}: relation `{}` is neither derived nor a declared input",
+                        r.label, a.relation
+                    ));
+                }
+            }
+        }
+        // An aggregate head must be its relation's only derivation —
+        // other rules or a seeding input would union raw tuples with
+        // the aggregate's output, which has no coherent incremental
+        // semantics.
+        for (rel, has_agg) in &agg_rule {
+            if *has_agg && rule_count[rel] > 1 {
+                return err(format!(
+                    "relation `{rel}` mixes an aggregate rule with other rules"
+                ));
+            }
+            if *has_agg && self.b.inputs.iter().any(|(n, _)| n == rel) {
+                return err(format!(
+                    "relation `{rel}` mixes an aggregate rule with a seeding input"
+                ));
+            }
+        }
+        // Create input nodes (declaration order), then derived-relation
+        // unions/distincts (first-head order).
+        for (name, n) in self.b.inputs.clone() {
+            let input = self.df.add_input(&name);
+            self.rels.insert(
+                name.clone(),
+                RelInfo {
+                    arity: n,
+                    read: input,
+                    union: None,
+                    next_port: 0,
+                    input: Some(input),
+                },
+            );
+        }
+        for name in head_order {
+            let n_rules = rule_count[name];
+            let seeded = self.rels.contains_key(name);
+            let ports = n_rules + seeded as usize;
+            let union = self.df.add_op_unwired(Union::new(ports));
+            let distinct = self.df.add_op(Distinct::new(), &[union]);
+            match self.rels.get_mut(name) {
+                Some(rel) => {
+                    // Seeded derived relation: the input feeds port 0.
+                    let input = rel.input.expect("seeded relation has an input");
+                    self.df.connect(input, union, 0);
+                    rel.read = distinct;
+                    rel.union = Some(union);
+                    rel.next_port = 1;
+                }
+                None => {
+                    self.rels.insert(
+                        name.to_string(),
+                        RelInfo {
+                            arity: arity[name],
+                            read: distinct,
+                            union: Some(union),
+                            next_port: 0,
+                            input: None,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn compile_rule(&mut self, rule: &Rule) -> Result<(), CompileError> {
+        let mut binding: Option<Binding> = None;
+        for atom in &rule.body {
+            binding = Some(if atom.is_external() {
+                let b = match binding {
+                    Some(b) => b,
+                    None => {
+                        return err(format!(
+                            "{}: rule body must start with a stored relation",
+                            rule.label
+                        ))
+                    }
+                };
+                self.compile_external(rule, atom, b)?
+            } else {
+                let scan = self.compile_scan(rule, atom)?;
+                match binding {
+                    None => scan,
+                    Some(b) => self.compile_join(b, scan),
+                }
+            });
+        }
+        let binding = binding.expect("parser guarantees a non-empty body");
+        let out = self.compile_head(rule, binding)?;
+        let rel = self.rels.get_mut(&rule.head.relation).unwrap();
+        let union = rel.union.expect("derived relation has a union");
+        let port = rel.next_port;
+        rel.next_port += 1;
+        self.df.connect(out, union, port);
+        Ok(())
+    }
+
+    /// One stored-relation body atom: filter constants / duplicate
+    /// variables, project to the distinct variable columns.
+    fn compile_scan(&mut self, rule: &Rule, atom: &Atom) -> Result<Binding, CompileError> {
+        let rel = &self.rels[&atom.relation];
+        if rel.arity != atom.arity() {
+            return err(format!(
+                "{}: `{}` has arity {}, atom uses {}",
+                rule.label,
+                atom.relation,
+                rel.arity,
+                atom.arity()
+            ));
+        }
+        let source = rel.read;
+        enum Check {
+            ConstEq(usize, Val),
+            ColEq(usize, usize),
+        }
+        let mut checks = Vec::new();
+        let mut proj: Vec<usize> = Vec::new();
+        let mut vars: Vec<String> = Vec::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Var(v) => match vars.iter().position(|x| x == v) {
+                    Some(first) => checks.push(Check::ColEq(proj[first], i)),
+                    None => {
+                        proj.push(i);
+                        vars.push(v.clone());
+                    }
+                },
+                Term::Wildcard => {}
+                Term::Agg(..) | Term::Diff(..) => {
+                    return err(format!(
+                        "{}: computed term `{t}` in body atom `{atom}`",
+                        rule.label
+                    ))
+                }
+                other => {
+                    let v = const_value(other).expect("remaining terms are constants");
+                    checks.push(Check::ConstEq(i, v));
+                }
+            }
+        }
+        // Identity scan (all positions distinct vars): read directly.
+        if checks.is_empty() && proj.len() == atom.arity() {
+            return Ok(Binding { node: source, vars });
+        }
+        let node = self.df.add_op(
+            Map::new(move |t| {
+                for c in &checks {
+                    let ok = match c {
+                        Check::ConstEq(i, v) => t.get(*i) == *v,
+                        Check::ColEq(i, j) => t.get(*i) == t.get(*j),
+                    };
+                    if !ok {
+                        return None;
+                    }
+                }
+                Some(t.project(&proj))
+            }),
+            &[source],
+        );
+        Ok(Binding { node, vars })
+    }
+
+    /// Joins the intermediate with a scanned atom on their shared
+    /// variables (an empty share degenerates to a cross join), then
+    /// projects away the duplicated key columns.
+    fn compile_join(&mut self, left: Binding, right: Binding) -> Binding {
+        let shared: Vec<&String> =
+            left.vars.iter().filter(|v| right.vars.contains(v)).collect();
+        let lk: Vec<usize> = shared.iter().map(|v| left.col(v).unwrap()).collect();
+        let rk: Vec<usize> = shared.iter().map(|v| right.col(v).unwrap()).collect();
+        let join = self
+            .df
+            .add_op(HashJoin::new(lk, rk), &[left.node, right.node]);
+        // Output = left ++ right; keep left in full plus right's fresh
+        // variables.
+        let lw = left.vars.len();
+        let mut proj: Vec<usize> = (0..lw).collect();
+        let mut vars = left.vars;
+        for (i, v) in right.vars.iter().enumerate() {
+            if !vars.contains(v) {
+                proj.push(lw + i);
+                vars.push(v.clone());
+            }
+        }
+        let node = if proj.len() == lw + right.vars.len() {
+            join
+        } else {
+            self.df.add_op(Map::project(proj), &[join])
+        };
+        Binding { node, vars }
+    }
+
+    /// An `Fn_*` atom: evaluate the registered external on the bound
+    /// input positions, check/bind the output positions.
+    fn compile_external(
+        &mut self,
+        rule: &Rule,
+        atom: &Atom,
+        binding: Binding,
+    ) -> Result<Binding, CompileError> {
+        let def = &self.b.externals[&atom.relation];
+        if atom.arity() < def.inputs {
+            return err(format!(
+                "{}: `{}` needs {} inputs, atom has {} terms",
+                rule.label,
+                atom.relation,
+                def.inputs,
+                atom.arity()
+            ));
+        }
+        enum In {
+            Col(usize),
+            Const(Val),
+        }
+        let mut ins = Vec::new();
+        for t in &atom.terms[..def.inputs] {
+            ins.push(match t {
+                Term::Var(v) => match binding.col(v) {
+                    Some(c) => In::Col(c),
+                    None => {
+                        return err(format!(
+                            "{}: `{}` input `{v}` is unbound",
+                            rule.label, atom.relation
+                        ))
+                    }
+                },
+                Term::Wildcard => {
+                    return err(format!(
+                        "{}: wildcard input to `{}`",
+                        rule.label, atom.relation
+                    ))
+                }
+                Term::Agg(..) | Term::Diff(..) => {
+                    return err(format!(
+                        "{}: computed input to `{}`",
+                        rule.label, atom.relation
+                    ))
+                }
+                other => In::Const(const_value(other).expect("constant")),
+            });
+        }
+        enum Out {
+            Bind,
+            Ignore,
+            CheckConst(Val),
+            CheckCol(usize),
+            /// Equals an earlier output position of this same atom
+            /// (`Fn_f(x,y,y)`: the second `y` must match the first).
+            CheckEarlier(usize),
+        }
+        let mut outs: Vec<Out> = Vec::new();
+        let mut vars = binding.vars.clone();
+        let mut fresh: Vec<(String, usize)> = Vec::new();
+        for (pos, t) in atom.terms[def.inputs..].iter().enumerate() {
+            outs.push(match t {
+                Term::Var(v) => match binding.col(v) {
+                    Some(c) => Out::CheckCol(c),
+                    None => match fresh.iter().find(|(name, _)| name == v) {
+                        Some(&(_, first)) => Out::CheckEarlier(first),
+                        None => {
+                            fresh.push((v.clone(), pos));
+                            vars.push(v.clone());
+                            Out::Bind
+                        }
+                    },
+                },
+                Term::Wildcard => Out::Ignore,
+                Term::Agg(..) | Term::Diff(..) => {
+                    return err(format!(
+                        "{}: computed output of `{}`",
+                        rule.label, atom.relation
+                    ))
+                }
+                other => Out::CheckConst(const_value(other).expect("constant")),
+            });
+        }
+        let body = Rc::clone(&def.body);
+        let label = atom.relation.clone();
+        let n_out = outs.len();
+        let mut in_scratch: Vec<Val> = Vec::new();
+        let mut row_scratch: Vec<Val> = Vec::new();
+        let node = self.df.add_op(
+            ExternalFn::new(atom.relation.clone(), move |t, emit| {
+                in_scratch.clear();
+                for i in &ins {
+                    in_scratch.push(match i {
+                        In::Col(c) => t.get(*c),
+                        In::Const(v) => *v,
+                    });
+                }
+                let mut f = body.borrow_mut();
+                f(&in_scratch, &mut |row: &[Val]| {
+                    assert_eq!(
+                        row.len(),
+                        n_out,
+                        "external `{label}` emitted {} values for {} output positions",
+                        row.len(),
+                        n_out
+                    );
+                    row_scratch.clear();
+                    row_scratch.extend(t.values());
+                    for (spec, v) in outs.iter().zip(row) {
+                        match spec {
+                            Out::Bind => row_scratch.push(*v),
+                            Out::Ignore => {}
+                            Out::CheckConst(want) => {
+                                if v != want {
+                                    return;
+                                }
+                            }
+                            Out::CheckCol(c) => {
+                                if *v != t.get(*c) {
+                                    return;
+                                }
+                            }
+                            Out::CheckEarlier(p) => {
+                                if *v != row[*p] {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    emit(Tuple::from_slice(&row_scratch));
+                });
+            }),
+            &[binding.node],
+        );
+        Ok(Binding { node, vars })
+    }
+
+    /// Head construction: a one-argument aggregate compiles to a
+    /// `GroupAgg`; anything else to a projection `Map` evaluating
+    /// constants, subtraction chains and scalar combines.
+    fn compile_head(&mut self, rule: &Rule, binding: Binding) -> Result<NodeId, CompileError> {
+        if let Some((func, args)) = rule.head_aggregate() {
+            if args.len() == 1 {
+                return self.compile_agg_head(rule, binding, *func, &args[0]);
+            }
+        }
+        enum HeadCol {
+            Col(usize),
+            Const(Val),
+            Diff(Vec<usize>),
+            Combine(AggFunc, Vec<usize>),
+        }
+        let mut cols = Vec::new();
+        for t in &rule.head.terms {
+            let resolve = |names: &[String]| -> Result<Vec<usize>, CompileError> {
+                names
+                    .iter()
+                    .map(|v| {
+                        binding.col(v).ok_or_else(|| {
+                            CompileError(format!("{}: head var `{v}` unbound", rule.label))
+                        })
+                    })
+                    .collect()
+            };
+            cols.push(match t {
+                Term::Var(v) => HeadCol::Col(binding.col(v).ok_or_else(|| {
+                    CompileError(format!("{}: head var `{v}` unbound", rule.label))
+                })?),
+                // A head wildcard is an unused output column: null.
+                Term::Wildcard => HeadCol::Const(null_value()),
+                Term::Diff(args) => HeadCol::Diff(resolve(args)?),
+                Term::Agg(f, args) => HeadCol::Combine(*f, resolve(args)?),
+                other => HeadCol::Const(const_value(other).expect("constant")),
+            });
+        }
+        let mut scratch: Vec<Val> = Vec::new();
+        Ok(self.df.add_op(
+            Map::new(move |t| {
+                scratch.clear();
+                for c in &cols {
+                    scratch.push(match c {
+                        HeadCol::Col(i) => t.get(*i),
+                        HeadCol::Const(v) => *v,
+                        HeadCol::Diff(idx) => {
+                            let mut v = t.get(idx[0]).as_cost();
+                            for &i in &idx[1..] {
+                                v = v - t.get(i).as_cost();
+                            }
+                            Val::Cost(v)
+                        }
+                        // Scalar combine: numeric min/max over the named
+                        // columns, preserving the winning value.
+                        HeadCol::Combine(f, idx) => {
+                            let mut best = t.get(idx[0]);
+                            for &i in &idx[1..] {
+                                let v = t.get(i);
+                                let wins = match f {
+                                    AggFunc::Min => v.as_cost() < best.as_cost(),
+                                    AggFunc::Max => v.as_cost() > best.as_cost(),
+                                };
+                                if wins {
+                                    best = v;
+                                }
+                            }
+                            best
+                        }
+                    });
+                }
+                Some(Tuple::from_slice(&scratch))
+            }),
+            &[binding.node],
+        ))
+    }
+
+    /// `Head(k1,...,kn,min<x>)`: a grouped aggregate keyed on the other
+    /// head columns (multi-column keys supported by `GroupAgg`).
+    fn compile_agg_head(
+        &mut self,
+        rule: &Rule,
+        binding: Binding,
+        func: AggFunc,
+        value_var: &str,
+    ) -> Result<NodeId, CompileError> {
+        let terms = &rule.head.terms;
+        match terms.last() {
+            Some(Term::Agg(..)) => {}
+            _ => {
+                return err(format!(
+                    "{}: aggregate must be the last head column",
+                    rule.label
+                ))
+            }
+        }
+        let mut key_cols = Vec::new();
+        for t in &terms[..terms.len() - 1] {
+            match t {
+                Term::Var(v) => key_cols.push(binding.col(v).ok_or_else(|| {
+                    CompileError(format!("{}: head var `{v}` unbound", rule.label))
+                })?),
+                other => {
+                    return err(format!(
+                        "{}: aggregate key must be a variable, got `{other}`",
+                        rule.label
+                    ))
+                }
+            }
+        }
+        let value_col = binding.col(value_var).ok_or_else(|| {
+            CompileError(format!(
+                "{}: aggregate value `{value_var}` unbound",
+                rule.label
+            ))
+        })?;
+        let kind = match func {
+            AggFunc::Min => AggKind::Min,
+            AggFunc::Max => AggKind::Max,
+        };
+        Ok(self
+            .df
+            .add_op(GroupAgg::new(key_cols, value_col, kind), &[binding.node]))
+    }
+}
+
+/// A compiled, runnable rule network.
+pub struct RuleNetwork {
+    df: Dataflow,
+    inputs: FxHashMap<String, (NodeId, usize)>,
+    sinks: FxHashMap<String, SinkId>,
+}
+
+impl fmt::Debug for RuleNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuleNetwork")
+            .field("nodes", &self.df.node_count())
+            .field("inputs", &self.inputs.keys().collect::<Vec<_>>())
+            .field("sinks", &self.sinks.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl RuleNetwork {
+    /// Queues a delta on a base relation.
+    pub fn push(&mut self, relation: &str, delta: Delta) {
+        let (node, arity) = self.inputs[relation];
+        assert_eq!(
+            delta.tuple.len(),
+            arity,
+            "tuple arity mismatch on `{relation}`"
+        );
+        self.df.push(node, delta);
+    }
+
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) {
+        self.push(relation, Delta::insert(tuple));
+    }
+
+    pub fn delete(&mut self, relation: &str, tuple: Tuple) {
+        self.push(relation, Delta::delete(tuple));
+    }
+
+    /// Runs to fixpoint.
+    pub fn run(&mut self) -> Result<RunStats, reopt_datalog::dataflow::FixpointOverrun> {
+        self.df.run()
+    }
+
+    /// A materialized relation (must have been requested via
+    /// [`NetworkBuilder::sink`]).
+    pub fn sink(&self, relation: &str) -> &Multiset {
+        self.df.sink(self.sinks[relation])
+    }
+
+    /// Number of dataflow nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.df.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_datalog::value::ints;
+
+    fn tc_network() -> RuleNetwork {
+        NetworkBuilder::new()
+            .input("Edge", 2)
+            .rule_texts([
+                "T1: Path(x,y) :- Edge(x,y);",
+                "T2: Path(x,z) :- Path(x,y), Edge(y,z);",
+            ])
+            .unwrap()
+            .sink("Path")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compiled_transitive_closure_matches_hand_built_network() {
+        // The same program `crates/datalog` wires by hand, produced by
+        // the compiler from rule texts.
+        let mut net = tc_network();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (1, 3)] {
+            net.insert("Edge", ints(&[a, b]));
+        }
+        net.run().unwrap();
+        assert_eq!(net.sink("Path").len(), 6);
+        assert!(net.sink("Path").contains(&ints(&[1, 4])));
+        // Incremental deletion: counting retracts exactly.
+        net.delete("Edge", ints(&[2, 3]));
+        net.run().unwrap();
+        assert_eq!(
+            net.sink("Path").sorted(),
+            vec![ints(&[1, 2]), ints(&[1, 3]), ints(&[1, 4]), ints(&[3, 4])]
+        );
+        assert!(!net.sink("Path").has_negative_counts());
+    }
+
+    #[test]
+    fn external_functions_bind_check_and_filter() {
+        // Fn_inc(x | y): y = x + 1. One rule checks a constant output,
+        // one binds a fresh variable, one checks an already-bound one.
+        let build = || {
+            NetworkBuilder::new()
+                .input("In", 2)
+                .external("Fn_inc", 1, |args, emit| {
+                    emit(&[Val::Int(args[0].as_int() + 1)]);
+                })
+                .rule_texts([
+                    "B: Bound(x,y) :- In(x,-), Fn_inc(x,y);",
+                    "C: Hit(x) :- In(x,y), Fn_inc(x,y);",
+                ])
+                .unwrap()
+                .sink("Bound")
+                .sink("Hit")
+                .build()
+                .unwrap()
+        };
+        let mut net = build();
+        net.insert("In", ints(&[3, 4]));
+        net.insert("In", ints(&[5, 9]));
+        net.run().unwrap();
+        assert_eq!(
+            net.sink("Bound").sorted(),
+            vec![ints(&[3, 4]), ints(&[5, 6])]
+        );
+        // Only (3,4) satisfies y = x + 1.
+        assert_eq!(net.sink("Hit").sorted(), vec![ints(&[3])]);
+    }
+
+    #[test]
+    fn repeated_fresh_output_var_is_an_equality_check() {
+        // `Fn_pair(x | a, b)` with a repeated fresh head var `y` in both
+        // output slots: the second occurrence must equal the first, not
+        // silently double-bind.
+        let mut net = NetworkBuilder::new()
+            .input("In", 1)
+            .external("Fn_pair", 1, |args, emit| {
+                let x = args[0].as_int();
+                // Equal pair for even inputs, unequal for odd.
+                if x % 2 == 0 {
+                    emit(&[Val::Int(x * 10), Val::Int(x * 10)]);
+                } else {
+                    emit(&[Val::Int(x * 10), Val::Int(x * 10 + 1)]);
+                }
+            })
+            .rule_texts(["P: Eq(x,y) :- In(x), Fn_pair(x,y,y);"])
+            .unwrap()
+            .sink("Eq")
+            .build()
+            .unwrap();
+        net.insert("In", ints(&[2]));
+        net.insert("In", ints(&[3]));
+        net.run().unwrap();
+        assert_eq!(net.sink("Eq").sorted(), vec![ints(&[2, 20])]);
+    }
+
+    #[test]
+    fn paper_bound_rules_execute_on_the_substrate() {
+        // r1–r4 of Figure 3 compiled VERBATIM from `reopt_core::rules`,
+        // over a two-child fixture: root (10,0) with children (20,0) and
+        // (30,0), local cost 5, and the root bound seeded at 100.
+        // Exercises: a seeded recursive relation, a cross join (r1's
+        // Bound × BestCost share no variables), subtraction-chain heads,
+        // a max<> aggregate and a scalar min<a,b> combine.
+        let rules =
+            reopt_core::rules_ir::parse_rules(reopt_core::rules::BOUND_RULES).unwrap();
+        let mut net = NetworkBuilder::new()
+            .input("Bound", 3)
+            .input("BestCost", 3)
+            .input("LocalCost", 9)
+            .rules(rules)
+            .sink("Bound")
+            .sink("MaxBound")
+            .build()
+            .unwrap();
+        let t = |e: i64, p: i64, c: f64| {
+            Tuple::new(vec![Val::Int(e), Val::Int(p), Val::cost(c)])
+        };
+        net.insert("Bound", t(10, 0, 100.0));
+        net.insert("BestCost", t(20, 0, 10.0));
+        net.insert("BestCost", t(30, 0, 20.0));
+        net.insert(
+            "LocalCost",
+            Tuple::new(vec![
+                Val::Int(10),
+                Val::Int(0),
+                Val::Int(0),
+                Val::Int(20),
+                Val::Int(0),
+                Val::Int(30),
+                Val::Int(0),
+                Val::Int(0),
+                Val::cost(5.0),
+            ]),
+        );
+        net.run().unwrap();
+        // r1: ParentBound(20,0,100-20-5) → MaxBound 75; r4 takes the
+        // child's own best (10) as its bound. Mirrored for (30,0).
+        assert_eq!(
+            net.sink("MaxBound").sorted(),
+            vec![t(20, 0, 75.0), t(30, 0, 85.0)]
+        );
+        assert_eq!(
+            net.sink("Bound").sorted(),
+            vec![t(10, 0, 100.0), t(20, 0, 10.0), t(30, 0, 20.0)]
+        );
+        // Incremental: the left child's best rises past nothing — its
+        // bound becomes the parent allowance; the sibling's allowance
+        // tightens but stays above its best.
+        net.delete("BestCost", t(20, 0, 10.0));
+        net.insert("BestCost", t(20, 0, 80.0));
+        net.run().unwrap();
+        assert_eq!(
+            net.sink("MaxBound").sorted(),
+            vec![t(20, 0, 75.0), t(30, 0, 15.0)]
+        );
+        assert_eq!(
+            net.sink("Bound").sorted(),
+            vec![t(10, 0, 100.0), t(20, 0, 75.0), t(30, 0, 15.0)]
+        );
+        assert!(!net.sink("Bound").has_negative_counts());
+    }
+
+    #[test]
+    fn compile_errors_are_descriptive() {
+        // Arity mismatch.
+        let e = NetworkBuilder::new()
+            .input("R", 2)
+            .rule_texts(["X: Out(a) :- R(a,b), R(a);"])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("arities"), "{e}");
+        // Unregistered external.
+        let e = NetworkBuilder::new()
+            .input("R", 1)
+            .rule_texts(["X: Out(a) :- R(a), Fn_missing(a,b);"])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("unregistered"), "{e}");
+        // Undeclared body relation.
+        let e = NetworkBuilder::new()
+            .rule_texts(["X: Out(a) :- Ghost(a);"])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("neither derived"), "{e}");
+        // Aggregate rule mixed with a plain rule for the same head.
+        let e = NetworkBuilder::new()
+            .input("R", 2)
+            .rule_texts([
+                "X: Out(a,min<b>) :- R(a,b);",
+                "Y: Out(a,b) :- R(a,b);",
+            ])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("mixes an aggregate"), "{e}");
+        // Aggregate rule on a seeded relation: raw seeds would union
+        // with the aggregate's output.
+        let e = NetworkBuilder::new()
+            .input("R", 2)
+            .input("Out", 2)
+            .rule_texts(["X: Out(a,min<b>) :- R(a,b);"])
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("seeding input"), "{e}");
+    }
+
+    #[test]
+    fn grouped_aggregates_use_multi_column_keys() {
+        // min over a two-column group key, maintained under deletion
+        // (next-best recovery through the substrate's GroupAgg).
+        let mut net = NetworkBuilder::new()
+            .input("CostIn", 3)
+            .rule_texts(["A: Best(g,h,min<c>) :- CostIn(g,h,c);"])
+            .unwrap()
+            .sink("Best")
+            .build()
+            .unwrap();
+        net.insert("CostIn", ints(&[1, 2, 30]));
+        net.insert("CostIn", ints(&[1, 2, 10]));
+        net.insert("CostIn", ints(&[1, 3, 40]));
+        net.run().unwrap();
+        assert_eq!(
+            net.sink("Best").sorted(),
+            vec![ints(&[1, 2, 10]), ints(&[1, 3, 40])]
+        );
+        net.delete("CostIn", ints(&[1, 2, 10]));
+        net.run().unwrap();
+        assert_eq!(
+            net.sink("Best").sorted(),
+            vec![ints(&[1, 2, 30]), ints(&[1, 3, 40])]
+        );
+    }
+}

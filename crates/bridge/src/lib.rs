@@ -1,0 +1,22 @@
+//! Bridge between the declarative rule specification (`reopt-core`'s
+//! rule IR) and the delta-processing dataflow substrate
+//! (`reopt-datalog`): a generic rule-program compiler and the
+//! [`DataflowOptimizer`], the optimizer-as-a-materialized-view the
+//! paper's §2/§4 describe.
+//!
+//! Two engines, one spec:
+//! - `reopt_core::IncrementalOptimizer` executes rules R1–R10 as
+//!   hand-rolled typed delta propagation (the authors' ~10K-line engine
+//!   specialization, §5);
+//! - [`DataflowOptimizer`] compiles the same program onto the generic
+//!   batched dataflow engine and maintains it as a view, feeding §4's
+//!   parameter updates in as base-relation deltas.
+//!
+//! Both are differentially tested to produce the same best-plan cost;
+//! the `optimizer_dataflow` bench compares them head-to-head.
+
+pub mod compile;
+pub mod optimizer;
+
+pub use compile::{CompileError, NetworkBuilder, RuleNetwork};
+pub use optimizer::{dataflow_program, DataflowOptimizer, DataflowOutcome, DATAFLOW_RULES};

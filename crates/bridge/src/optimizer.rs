@@ -1,0 +1,535 @@
+//! The declarative optimizer, executed on the dataflow substrate.
+//!
+//! Where `reopt_core::IncrementalOptimizer` hand-rolls the propagation
+//! of rules R1–R10 as typed delta queues over the and-or graph, this
+//! module *compiles the rules and runs them*: the network below is the
+//! executable elaboration of the paper's program, instantiated on
+//! `reopt-datalog`'s batched delta engine.
+//!
+//! ## From the paper's rules to the executable program
+//!
+//! The paper rules ([`reopt_core::rules`], parsed by
+//! [`reopt_core::rules_ir`]) elaborate as follows:
+//!
+//! - **D1–D3 ≙ R1–R5** (plan enumeration). `Fn_split` is the external
+//!   function of R1–R3, backed by the interned [`Memo`] (the memoization
+//!   of `Fn_split`/`Fn_nonscansummary` that §2.3 prescribes); it returns
+//!   scan alternatives for leaves too, folding in R4/R5's `Fn_phyOp`,
+//!   and returns nothing for `null` child slots, folding in the
+//!   `Fn_isleaf` guards. The `Expr` base relation seeds the root
+//!   `(expr, prop)` demand.
+//! - **D6–D8 ≙ R6–R8** (cost estimation) after two standard rewrites:
+//!   the summary/cost externals (`Fn_scansummary`, `Fn_scancost`,
+//!   `Fn_nonscansummary`, `Fn_nonscancost`) collapse into a `LocalCost`
+//!   *base relation* maintained from [`CostContext`] — §4's runtime
+//!   updates arrive as deltas to exactly this relation — and the child
+//!   `PlanCost` body atoms read `BestCost` instead, the paper's own §3.1
+//!   aggregate-selection strategy (a plan's total uses its children's
+//!   *best* costs). `Fn_sum` remains the external it is in R7/R8.
+//! - **D9–D10 ≙ R9–R10** (plan selection), verbatim: a grouped `min<>`
+//!   aggregate and the join back onto `PlanCost`.
+//!
+//! Column encoding: `expr` packs an [`ExprId`] (`rel` bits and the `agg`
+//! flag) into an `Int`; `prop` is a dense index into the query's
+//! property table; `index` is the global [`AltId`]; `logOp`/`phyOp` are
+//! interned symbols; absent children are the shared `null` symbol, which
+//! simply fails to join `BestCost` — that is how D6/D7/D8 partition the
+//! alternatives by arity without any null-test externals.
+
+use std::rc::Rc;
+
+use reopt_catalog::Catalog;
+use reopt_common::{Cost, FxHashMap};
+use reopt_core::memo::{AltId, GroupId, Memo};
+use reopt_core::rules_ir::{parse_rules, Rule};
+use reopt_cost::{CostContext, ParamDelta};
+use reopt_datalog::{RunStats, Tuple, Val};
+use reopt_expr::{ExprId, JoinGraph, PhysProp, PlanNode, QuerySpec};
+
+use crate::compile::{null_value, NetworkBuilder, RuleNetwork};
+
+/// The executable elaboration of the paper's rule program (see the
+/// module docs for the R→D mapping).
+pub const DATAFLOW_RULES: [&str; 8] = [
+    "D1: SearchSpace(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp) :- \
+     Expr(expr,prop), Fn_split(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp);",
+    "D2: SearchSpace(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp) :- \
+     SearchSpace(-,-,-,-,-,expr,prop,-,-), \
+     Fn_split(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp);",
+    "D3: SearchSpace(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp) :- \
+     SearchSpace(-,-,-,-,-,-,-,expr,prop), \
+     Fn_split(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp);",
+    "D6: PlanCost(expr,prop,index,cost) :- \
+     SearchSpace(expr,prop,index,-,-,null,null,null,null), \
+     LocalCost(expr,prop,index,cost);",
+    "D7: PlanCost(expr,prop,index,cost) :- \
+     SearchSpace(expr,prop,index,-,-,lExpr,lProp,null,null), \
+     BestCost(lExpr,lProp,lCost), LocalCost(expr,prop,index,localCost), \
+     Fn_sum(lCost,null,localCost,cost);",
+    "D8: PlanCost(expr,prop,index,cost) :- \
+     SearchSpace(expr,prop,index,-,-,lExpr,lProp,rExpr,rProp), \
+     BestCost(lExpr,lProp,lCost), BestCost(rExpr,rProp,rCost), \
+     LocalCost(expr,prop,index,localCost), Fn_sum(lCost,rCost,localCost,cost);",
+    "D9: BestCost(expr,prop,min<cost>) :- PlanCost(expr,prop,index,cost);",
+    "D10: BestPlan(expr,prop,index,cost) :- \
+     BestCost(expr,prop,cost), PlanCost(expr,prop,index,cost);",
+];
+
+/// The executable program in IR form.
+pub fn dataflow_program() -> Vec<Rule> {
+    parse_rules(DATAFLOW_RULES).expect("the executable rules parse (pinned by tests)")
+}
+
+/// Dense encoding of the physical-property column.
+struct PropTable {
+    by_prop: FxHashMap<PhysProp, i64>,
+    props: Vec<PhysProp>,
+}
+
+impl PropTable {
+    fn new(memo: &Memo) -> PropTable {
+        let mut t = PropTable {
+            by_prop: FxHashMap::default(),
+            props: Vec::new(),
+        };
+        for g in &memo.groups {
+            if !t.by_prop.contains_key(&g.prop) {
+                t.by_prop.insert(g.prop, t.props.len() as i64);
+                t.props.push(g.prop);
+            }
+        }
+        t
+    }
+
+    fn encode(&self, p: PhysProp) -> Val {
+        Val::Int(self.by_prop[&p])
+    }
+}
+
+fn encode_expr(e: ExprId) -> Val {
+    Val::Int(((e.rel.0 as i64) << 1) | e.agg as i64)
+}
+
+/// Result of one dataflow (re)optimization fixpoint.
+#[derive(Clone, Debug)]
+pub struct DataflowOutcome {
+    pub cost: Cost,
+    pub plan: PlanNode,
+    /// Substrate-level execution statistics for the run.
+    pub stats: RunStats,
+}
+
+/// The optimizer-as-a-view: rules compiled onto the dataflow substrate,
+/// maintained incrementally under [`ParamDelta`] base-relation deltas.
+pub struct DataflowOptimizer {
+    q: QuerySpec,
+    memo: Rc<Memo>,
+    ctx: CostContext,
+    props: Rc<PropTable>,
+    net: RuleNetwork,
+    /// Mirror of the `LocalCost` base relation, per [`AltId`] — the
+    /// old value is needed to emit the retraction half of an update.
+    local: Vec<Cost>,
+    initialized: bool,
+}
+
+impl DataflowOptimizer {
+    pub fn new(catalog: &Catalog, q: QuerySpec) -> DataflowOptimizer {
+        let graph = JoinGraph::new(&q);
+        let memo = Rc::new(Memo::build(&q, &graph));
+        let ctx = CostContext::new(catalog, &q);
+        let props = Rc::new(PropTable::new(&memo));
+        let net = build_network(Rc::clone(&memo), Rc::clone(&props));
+        let local = vec![Cost::INFINITY; memo.n_alts()];
+        DataflowOptimizer {
+            q,
+            memo,
+            ctx,
+            props,
+            net,
+            local,
+            initialized: false,
+        }
+    }
+
+    pub fn memo(&self) -> &Memo {
+        &self.memo
+    }
+
+    pub fn cost_context(&self) -> &CostContext {
+        &self.ctx
+    }
+
+    /// Initial evaluation: seed the `Expr` root demand and the full
+    /// `LocalCost` relation, then run the network to fixpoint.
+    pub fn optimize(&mut self) -> DataflowOutcome {
+        if !self.initialized {
+            self.initialized = true;
+            let root = self.memo.group(self.memo.root);
+            self.net.insert(
+                "Expr",
+                Tuple::new(vec![encode_expr(root.expr), self.props.encode(root.prop)]),
+            );
+            for gi in 0..self.memo.n_groups() as u32 {
+                let g = GroupId(gi);
+                let (expr, prop) = {
+                    let d = self.memo.group(g);
+                    (d.expr, d.prop)
+                };
+                for a in self.memo.alts_of(g) {
+                    let spec = self.memo.alt(a).spec;
+                    let c = self.ctx.local_cost(&self.q, expr, prop, &spec);
+                    self.local[a.0 as usize] = c;
+                    let t = self.local_tuple(expr, prop, a, c);
+                    self.net.insert("LocalCost", t);
+                }
+            }
+        }
+        let stats = self.net.run().expect("acyclic cost propagation converges");
+        self.outcome(stats)
+    }
+
+    /// Incremental re-optimization (§4): apply the parameter deltas to
+    /// the cost context, re-evaluate the affected local costs, and feed
+    /// the changes to the network as `LocalCost` base-relation deltas.
+    pub fn reoptimize(&mut self, deltas: &[ParamDelta]) -> DataflowOutcome {
+        assert!(self.initialized, "call optimize() before reoptimize()");
+        let affected = self.ctx.apply(deltas);
+        if affected.is_empty() {
+            return self.outcome(RunStats::default());
+        }
+        for gi in 0..self.memo.n_groups() as u32 {
+            let g = GroupId(gi);
+            let (expr, prop) = {
+                let d = self.memo.group(g);
+                (d.expr, d.prop)
+            };
+            for a in self.memo.alts_of(g) {
+                let spec = self.memo.alt(a).spec;
+                if !self.ctx.alt_affected(expr, &spec, &affected) {
+                    continue;
+                }
+                let new = self.ctx.local_cost(&self.q, expr, prop, &spec);
+                let old = self.local[a.0 as usize];
+                if new == old {
+                    continue;
+                }
+                self.local[a.0 as usize] = new;
+                let retract = self.local_tuple(expr, prop, a, old);
+                let assert = self.local_tuple(expr, prop, a, new);
+                self.net.delete("LocalCost", retract);
+                self.net.insert("LocalCost", assert);
+            }
+        }
+        let stats = self.net.run().expect("acyclic cost propagation converges");
+        self.outcome(stats)
+    }
+
+    fn local_tuple(&self, expr: ExprId, prop: PhysProp, a: AltId, c: Cost) -> Tuple {
+        Tuple::new(vec![
+            encode_expr(expr),
+            self.props.encode(prop),
+            Val::Int(a.0 as i64),
+            Val::Cost(c),
+        ])
+    }
+
+    fn outcome(&self, stats: RunStats) -> DataflowOutcome {
+        DataflowOutcome {
+            cost: self.best_cost(),
+            plan: self.best_plan(),
+            stats,
+        }
+    }
+
+    /// The root's `BestCost` value.
+    pub fn best_cost(&self) -> Cost {
+        let root = self.memo.group(self.memo.root);
+        let (e, p) = (encode_expr(root.expr), self.props.encode(root.prop));
+        for (t, _) in self.net.sink("BestCost").iter() {
+            if t.get(0) == e && t.get(1) == p {
+                return t.get(2).as_cost();
+            }
+        }
+        Cost::INFINITY
+    }
+
+    /// Extracts the best plan from the materialized `BestPlan` view
+    /// (ties broken towards the lowest alternative id, deterministic).
+    pub fn best_plan(&self) -> PlanNode {
+        let mut chosen: FxHashMap<GroupId, (Cost, AltId)> = FxHashMap::default();
+        for (t, _) in self.net.sink("BestPlan").iter() {
+            let a = AltId(t.get(2).as_int() as u32);
+            let cost = t.get(3).as_cost();
+            let g = self.memo.alt(a).group;
+            let e = chosen.entry(g).or_insert((cost, a));
+            if (cost, a) < *e {
+                *e = (cost, a);
+            }
+        }
+        self.extract(self.memo.root, &chosen)
+    }
+
+    fn extract(&self, g: GroupId, chosen: &FxHashMap<GroupId, (Cost, AltId)>) -> PlanNode {
+        let def = self.memo.group(g);
+        let (_, a) = chosen
+            .get(&g)
+            .unwrap_or_else(|| panic!("no BestPlan tuple for group {g:?} ({:?})", def.expr));
+        let alt = self.memo.alt(*a);
+        PlanNode {
+            expr: def.expr,
+            prop: def.prop,
+            op: alt.op,
+            children: alt.children().map(|c| self.extract(c, chosen)).collect(),
+        }
+    }
+
+    /// Distinct `SearchSpace` tuples the network derived — compared by
+    /// tests against the memo's alternative count.
+    pub fn search_space_size(&self) -> usize {
+        self.net.sink("SearchSpace").len()
+    }
+
+    /// Dataflow node count (diagnostics).
+    pub fn network_nodes(&self) -> usize {
+        self.net.node_count()
+    }
+}
+
+/// Compiles [`DATAFLOW_RULES`] with the memo-backed externals.
+fn build_network(memo: Rc<Memo>, props: Rc<PropTable>) -> RuleNetwork {
+    let split_memo = Rc::clone(&memo);
+    let split_props = Rc::clone(&props);
+    // Pre-encode Fn_split's output rows once per alternative: the
+    // function sits on the network's hottest path (every enumeration
+    // delta re-invokes it), so its emissions must not re-intern symbols
+    // or format operator names per call.
+    let split_rows: Vec<[Val; 7]> = (0..memo.n_alts() as u32)
+        .map(|ai| {
+            let alt = memo.alt(AltId(ai));
+            let child = |c: Option<GroupId>| -> (Val, Val) {
+                match c {
+                    None => (null_value(), null_value()),
+                    Some(cg) => {
+                        let d = memo.group(cg);
+                        (encode_expr(d.expr), props.encode(d.prop))
+                    }
+                }
+            };
+            let (le, lp) = child(alt.left);
+            let (re, rp) = child(alt.right);
+            [
+                Val::Int(ai as i64),
+                Val::str(alt.op.logical_name()),
+                Val::str(&alt.op.to_string()),
+                le,
+                lp,
+                re,
+                rp,
+            ]
+        })
+        .collect();
+    NetworkBuilder::new()
+        .input("Expr", 2)
+        .input("LocalCost", 4)
+        .rules(dataflow_program())
+        // Fn_split(expr,prop | index,logOp,phyOp,lExpr,lProp,rExpr,rProp):
+        // every alternative of the demanded (expr,prop) group, from the
+        // interned memo (the §2.3 memoization). `null` demands — the
+        // child slots of scan tuples fed back by D2/D3 — expand to
+        // nothing, which is the Fn_isleaf guard of R1–R3.
+        .external("Fn_split", 2, move |args, emit| {
+            let (Val::Int(e), Val::Int(p)) = (args[0], args[1]) else {
+                return;
+            };
+            let expr = ExprId {
+                rel: reopt_expr::RelSet((e >> 1) as u32),
+                agg: e & 1 == 1,
+            };
+            let prop = split_props.props[p as usize];
+            let Some(g) = split_memo.lookup(expr, prop) else {
+                return;
+            };
+            for a in split_memo.alts_of(g) {
+                emit(&split_rows[a.0 as usize]);
+            }
+        })
+        // Fn_sum(lCost,rCost,localCost | cost): R7/R8's total, summed in
+        // the same association order as the hand-rolled optimizer
+        // (local, then left, then right) so totals agree bit-for-bit.
+        // Non-cost operands (the `null` of R7) contribute nothing.
+        .external("Fn_sum", 3, move |args, emit| {
+            let mut total = args[2].as_cost();
+            if let Val::Cost(l) = args[0] {
+                total += l;
+            }
+            if let Val::Cost(r) = args[1] {
+                total += r;
+            }
+            emit(&[Val::Cost(total)]);
+        })
+        .sink("SearchSpace")
+        .sink("BestCost")
+        .sink("BestPlan")
+        .build()
+        .expect("the executable program compiles (pinned by tests)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_core::fixtures::{
+        agg_chain_query, chain_query, cycle_query, fixture_catalog, star_query,
+    };
+    use reopt_core::{IncrementalOptimizer, PruningConfig};
+    use reopt_expr::{EdgeId, LeafId};
+
+    fn fixture_queries() -> Vec<QuerySpec> {
+        let c = fixture_catalog();
+        vec![
+            chain_query(&c, 2),
+            chain_query(&c, 3),
+            chain_query(&c, 5),
+            agg_chain_query(&c, 4),
+            cycle_query(&c),
+            star_query(&c),
+        ]
+    }
+
+    /// Asserts both engines agree on the current best cost, and that the
+    /// dataflow engine's extracted plan re-prices to that cost.
+    fn assert_agree(df: &DataflowOutcome, hand: &reopt_core::Outcome, what: &str) {
+        assert!(
+            df.cost.approx_eq(hand.cost),
+            "{what}: dataflow {:?} vs hand-rolled {:?}",
+            df.cost,
+            hand.cost
+        );
+    }
+
+    #[test]
+    fn the_executable_program_parses_and_compiles() {
+        assert_eq!(dataflow_program().len(), 8);
+        let c = fixture_catalog();
+        let opt = DataflowOptimizer::new(&c, chain_query(&c, 3));
+        assert!(opt.network_nodes() > 10);
+    }
+
+    #[test]
+    fn initial_optimization_matches_hand_rolled_on_fixtures() {
+        let c = fixture_catalog();
+        for q in fixture_queries() {
+            let mut df = DataflowOptimizer::new(&c, q.clone());
+            let mut hand = IncrementalOptimizer::new(&c, q.clone(), PruningConfig::none());
+            let got = df.optimize();
+            let want = hand.optimize();
+            assert_agree(&got, &want, &q.name);
+            // The network derived the full SearchSpace: one tuple per
+            // memo alternative (rules R1–R5 at fixpoint).
+            assert_eq!(df.search_space_size(), df.memo().n_alts(), "{}", q.name);
+            // The extracted plan re-prices to the claimed cost.
+            let mut ctx = CostContext::new(&c, &q);
+            assert!(ctx.plan_cost(&q, &got.plan).approx_eq(got.cost), "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn three_kinds_of_incremental_updates_match_hand_rolled() {
+        // The acceptance gate: cardinality, cost-parameter (scan) and
+        // selectivity deltas, singly and batched, on every fixture.
+        let c = fixture_catalog();
+        let batches: Vec<Vec<ParamDelta>> = vec![
+            vec![ParamDelta::LeafCardinality(LeafId(1), 4.0)],
+            vec![ParamDelta::LeafScanCost(LeafId(0), 6.0)],
+            vec![ParamDelta::EdgeSelectivity(EdgeId(0), 8.0)],
+            vec![
+                ParamDelta::EdgeSelectivity(EdgeId(0), 0.25),
+                ParamDelta::LeafScanCost(LeafId(1), 3.0),
+                ParamDelta::LeafCardinality(LeafId(0), 0.5),
+            ],
+        ];
+        for q in fixture_queries() {
+            for batch in &batches {
+                let mut df = DataflowOptimizer::new(&c, q.clone());
+                let mut hand =
+                    IncrementalOptimizer::new(&c, q.clone(), PruningConfig::none());
+                df.optimize();
+                hand.optimize();
+                let got = df.reoptimize(batch);
+                let want = hand.reoptimize(batch);
+                assert_agree(&got, &want, &format!("{} after {batch:?}", q.name));
+            }
+        }
+    }
+
+    #[test]
+    fn update_sequences_stay_in_lockstep() {
+        let c = fixture_catalog();
+        let q = chain_query(&c, 5);
+        let mut df = DataflowOptimizer::new(&c, q.clone());
+        let mut hand = IncrementalOptimizer::new(&c, q.clone(), PruningConfig::none());
+        assert_agree(&df.optimize(), &hand.optimize(), "initial");
+        let seq: Vec<Vec<ParamDelta>> = vec![
+            vec![ParamDelta::EdgeSelectivity(EdgeId(1), 8.0)],
+            vec![ParamDelta::LeafCardinality(LeafId(2), 0.2)],
+            vec![ParamDelta::LeafScanCost(LeafId(4), 5.0)],
+            vec![ParamDelta::EdgeSelectivity(EdgeId(1), 1.0)], // revert
+            vec![ParamDelta::LeafScanCost(LeafId(4), 0.5)],
+        ];
+        for (i, batch) in seq.iter().enumerate() {
+            let got = df.reoptimize(batch);
+            let want = hand.reoptimize(batch);
+            assert_agree(&got, &want, &format!("step {i}"));
+        }
+    }
+
+    #[test]
+    fn plan_switch_is_tracked_incrementally() {
+        // Blowing up a selectivity makes the previously best plan
+        // expensive; the maintained view must land on the new optimum
+        // (priced by an independent context) without re-seeding.
+        let c = fixture_catalog();
+        let q = chain_query(&c, 5);
+        let mut df = DataflowOptimizer::new(&c, q.clone());
+        let initial = df.optimize();
+        let batch = vec![ParamDelta::EdgeSelectivity(EdgeId(1), 8.0)];
+        let out = df.reoptimize(&batch);
+        assert!(out.cost > initial.cost);
+        let mut ctx = CostContext::new(&c, &q);
+        ctx.apply(&batch);
+        assert!(ctx.plan_cost(&q, &out.plan).approx_eq(out.cost));
+    }
+
+    #[test]
+    fn unchanged_parameters_cause_no_work() {
+        let c = fixture_catalog();
+        let q = chain_query(&c, 4);
+        let mut df = DataflowOptimizer::new(&c, q);
+        df.optimize();
+        let first = df.reoptimize(&[ParamDelta::LeafScanCost(LeafId(0), 2.0)]);
+        assert!(first.stats.deltas_processed > 0);
+        // Same factor again: no affected parameters, no deltas pushed,
+        // nothing propagates (Fig 9's quiescence).
+        let second = df.reoptimize(&[ParamDelta::LeafScanCost(LeafId(0), 2.0)]);
+        assert_eq!(second.stats.deltas_processed, 0);
+        assert_eq!(second.cost, first.cost);
+    }
+
+    #[test]
+    fn incremental_updates_touch_a_fraction_of_the_network() {
+        // A single-leaf scan-cost tweak must not re-derive the space:
+        // the incremental run processes far fewer deltas than the
+        // initial evaluation.
+        let c = fixture_catalog();
+        let q = chain_query(&c, 5);
+        let mut df = DataflowOptimizer::new(&c, q);
+        let init = df.optimize();
+        let out = df.reoptimize(&[ParamDelta::LeafScanCost(LeafId(4), 1.3)]);
+        assert!(
+            out.stats.deltas_processed * 3 < init.stats.deltas_processed,
+            "incremental {} vs initial {}",
+            out.stats.deltas_processed,
+            init.stats.deltas_processed
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Differential property tests: the compiled-rule-network optimizer
+//! ([`DataflowOptimizer`]) against the hand-rolled delta-propagation
+//! engine ([`IncrementalOptimizer`]) over random join topologies,
+//! random statistics, random pruning configurations and random
+//! [`ParamDelta`] sequences.
+//!
+//! Both engines execute the same declarative specification (the
+//! R1–R10 rule program), so their best-plan costs must agree within
+//! floating-point slack wherever the hand-rolled engine is exact —
+//! which is: always for initial optimization; for increase-only
+//! updates under every configuration; and for arbitrary updates under
+//! configurations that never reclaim state (or reclaim strictly).
+
+use proptest::prelude::*;
+
+use reopt_bridge::DataflowOptimizer;
+use reopt_catalog::{Catalog, ColumnStats, TableBuilder, TableStats};
+use reopt_core::{IncrementalOptimizer, PruningConfig};
+use reopt_cost::ParamDelta;
+use reopt_expr::{EdgeId, LeafId, QuerySpec};
+
+/// Deterministic description of a random query instance (same shape as
+/// the `reopt-core` property suite).
+#[derive(Clone, Debug)]
+struct QueryGen {
+    /// Per-leaf row counts (log scale 1..=5 → 10^x rows).
+    rows: Vec<u8>,
+    /// Per-leaf: has an index on column `a`.
+    indexed: Vec<bool>,
+    /// For leaf i>0: joins to leaf `parent[i-1] % i` (random tree).
+    parent: Vec<u8>,
+    /// Close a cycle between leaf 0 and the last leaf.
+    cycle: bool,
+}
+
+fn query_gen(max_leaves: usize) -> impl Strategy<Value = QueryGen> {
+    (2..=max_leaves).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1u8..=5, n),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(any::<u8>(), n - 1),
+            any::<bool>(),
+        )
+            .prop_map(|(rows, indexed, parent, cycle)| QueryGen {
+                rows,
+                indexed,
+                parent,
+                cycle,
+            })
+    })
+}
+
+fn build(gen: &QueryGen) -> (Catalog, QuerySpec) {
+    let n = gen.rows.len();
+    let mut c = Catalog::new();
+    for i in 0..n {
+        let rows = 10f64.powi(gen.rows[i] as i32);
+        let name = format!("t{i}");
+        let indexed = gen.indexed[i];
+        c.add_table(
+            |id| {
+                let mut b = TableBuilder::new(&name).int_col("a").int_col("b");
+                if indexed {
+                    b = b.index_on("a");
+                }
+                b.build(id)
+            },
+            TableStats {
+                row_count: rows,
+                columns: vec![ColumnStats::uniform_key(rows); 2],
+            },
+        );
+    }
+    let mut b = QuerySpec::builder("prop");
+    let leaves: Vec<_> = (0..n).map(|i| b.leaf(&c, &format!("t{i}"))).collect();
+    for i in 1..n {
+        let p = (gen.parent[i - 1] as usize) % i;
+        b.join(&c, leaves[p], "b", leaves[i], "a");
+    }
+    if gen.cycle && n > 2 {
+        b.join(&c, leaves[n - 1], "b", leaves[0], "a");
+    }
+    (c, b.build())
+}
+
+/// One random update: kind 0 = edge selectivity, 1 = leaf cardinality,
+/// 2 = leaf scan cost. `mag` maps to a factor.
+fn deltas_for(q: &QuerySpec, raw: &[(u8, u8, u8)], increase_only: bool) -> Vec<ParamDelta> {
+    raw.iter()
+        .map(|&(kind, idx, mag)| {
+            let factor = if increase_only {
+                1.0 + (mag as f64 % 8.0)
+            } else {
+                2f64.powi((mag as i32 % 7) - 3)
+            };
+            match kind % 3 {
+                0 if !q.edges.is_empty() => {
+                    ParamDelta::EdgeSelectivity(EdgeId(idx as u32 % q.edges.len() as u32), factor)
+                }
+                1 => ParamDelta::LeafCardinality(LeafId(idx as u32 % q.n_leaves()), factor),
+                _ => ParamDelta::LeafScanCost(LeafId(idx as u32 % q.n_leaves()), factor),
+            }
+        })
+        .collect()
+}
+
+fn all_configs() -> Vec<PruningConfig> {
+    vec![
+        PruningConfig::none(),
+        PruningConfig::evita_raced(),
+        PruningConfig::aggsel(),
+        PruningConfig::aggsel_refcount(),
+        PruningConfig::aggsel_bounding(),
+        PruningConfig::all(),
+        PruningConfig::all_strict(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Initial evaluation of the compiled network agrees with the
+    /// hand-rolled engine under every pruning configuration, and the
+    /// network derives exactly the memo's SearchSpace.
+    #[test]
+    fn initial_costs_agree_across_configs(gen in query_gen(5)) {
+        let (c, q) = build(&gen);
+        let mut df = DataflowOptimizer::new(&c, q.clone());
+        let got = df.optimize();
+        prop_assert_eq!(df.search_space_size(), df.memo().n_alts());
+        for cfg in all_configs() {
+            let mut hand = IncrementalOptimizer::new(&c, q.clone(), cfg);
+            let want = hand.optimize();
+            prop_assert!(got.cost.approx_eq(want.cost),
+                "{}: dataflow {:?} vs hand-rolled {:?}", cfg.label(), got.cost, want.cost);
+        }
+    }
+
+    /// Increase-only delta sequences: every configuration stays exact,
+    /// so every configuration must stay in lockstep with the view.
+    #[test]
+    fn increase_sequences_agree_under_full_pruning(
+        gen in query_gen(5),
+        seq in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..3), 1..4),
+    ) {
+        let (c, q) = build(&gen);
+        let mut df = DataflowOptimizer::new(&c, q.clone());
+        let mut hand = IncrementalOptimizer::new(&c, q.clone(), PruningConfig::all());
+        df.optimize();
+        hand.optimize();
+        for raw in &seq {
+            let deltas = deltas_for(&q, raw, true);
+            let got = df.reoptimize(&deltas);
+            let want = hand.reoptimize(&deltas);
+            prop_assert!(got.cost.approx_eq(want.cost),
+                "after {deltas:?}: dataflow {:?} vs hand-rolled {:?}", got.cost, want.cost);
+        }
+    }
+
+    /// Arbitrary (mixed-direction) sequences, against the
+    /// configurations that are exact for them: no-reclamation pruning
+    /// and full pruning with strict revalidation.
+    #[test]
+    fn arbitrary_sequences_agree_with_exact_configs(
+        gen in query_gen(5),
+        seq in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..3), 1..4),
+    ) {
+        let (c, q) = build(&gen);
+        let mut df = DataflowOptimizer::new(&c, q.clone());
+        df.optimize();
+        let mut hands: Vec<IncrementalOptimizer> = [
+            PruningConfig::aggsel(),
+            PruningConfig::aggsel_bounding(),
+            PruningConfig::all_strict(),
+        ]
+        .into_iter()
+        .map(|cfg| {
+            let mut h = IncrementalOptimizer::new(&c, q.clone(), cfg);
+            h.optimize();
+            h
+        })
+        .collect();
+        for raw in &seq {
+            let deltas = deltas_for(&q, raw, false);
+            let got = df.reoptimize(&deltas);
+            for hand in &mut hands {
+                let cfg = hand.config();
+                let want = hand.reoptimize(&deltas);
+                prop_assert!(got.cost.approx_eq(want.cost),
+                    "{} after {deltas:?}: dataflow {:?} vs hand-rolled {:?}",
+                    cfg.label(), got.cost, want.cost);
+            }
+        }
+    }
+}

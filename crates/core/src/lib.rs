@@ -25,6 +25,7 @@ pub mod memo;
 pub mod metrics;
 pub mod optimizer;
 pub mod rules;
+pub mod rules_ir;
 pub mod state;
 pub mod verify;
 

@@ -79,29 +79,67 @@ pub fn all_rules() -> Vec<&'static str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules_ir::{parse_rule, parse_rules, AggFunc, Term};
 
     #[test]
     fn rule_counts_match_paper() {
         // "Plan enumeration (SearchSpace) consists of 5 rules, cost
         // estimation (PlanCost) 3 rules, and plan selection (BestPlan)
-        // 2 rules" — Figure 1 caption.
-        assert_eq!(PLAN_ENUMERATION.len(), 5);
-        assert_eq!(COST_ESTIMATION.len(), 3);
-        assert_eq!(PLAN_SELECTION.len(), 2);
-        assert_eq!(BOUND_RULES.len(), 4);
-        assert_eq!(all_rules().len(), 14);
+        // 2 rules" — Figure 1 caption. Counted over the *parsed* rules,
+        // so a malformed rule text cannot satisfy the pin.
+        assert_eq!(parse_rules(PLAN_ENUMERATION).unwrap().len(), 5);
+        assert_eq!(parse_rules(COST_ESTIMATION).unwrap().len(), 3);
+        assert_eq!(parse_rules(PLAN_SELECTION).unwrap().len(), 2);
+        assert_eq!(parse_rules(BOUND_RULES).unwrap().len(), 4);
+        assert_eq!(crate::rules_ir::paper_rules().len(), 14);
     }
 
     #[test]
-    fn rules_reference_their_head_relations() {
-        for r in PLAN_ENUMERATION {
-            assert!(r.contains("SearchSpace("));
+    fn rules_derive_their_head_relations() {
+        // Head relations read from the AST, not substring matches.
+        for r in parse_rules(PLAN_ENUMERATION).unwrap() {
+            assert_eq!(r.head.relation, "SearchSpace", "{}", r.label);
         }
-        for r in COST_ESTIMATION {
-            assert!(r.starts_with("R6") || r.starts_with("R7") || r.starts_with("R8"));
-            assert!(r.contains("PlanCost("));
+        for (i, r) in parse_rules(COST_ESTIMATION).unwrap().iter().enumerate() {
+            assert_eq!(r.label, format!("R{}", 6 + i));
+            assert_eq!(r.head.relation, "PlanCost");
         }
-        assert!(PLAN_SELECTION[0].contains("min<cost>"));
-        assert!(BOUND_RULES[2].contains("max<bound>"));
+        let selection = parse_rules(PLAN_SELECTION).unwrap();
+        assert_eq!(selection[0].head.relation, "BestCost");
+        assert_eq!(selection[1].head.relation, "BestPlan");
+        let bounds = parse_rules(BOUND_RULES).unwrap();
+        let heads: Vec<&str> = bounds.iter().map(|r| r.head.relation.as_str()).collect();
+        assert_eq!(heads, ["ParentBound", "ParentBound", "MaxBound", "Bound"]);
+    }
+
+    #[test]
+    fn selection_and_bounding_aggregate_as_stated() {
+        // R9 minimizes cost; r3 maximizes bound — pinned on the parsed
+        // aggregate terms.
+        let r9 = parse_rule(PLAN_SELECTION[0]).unwrap();
+        assert_eq!(
+            r9.head_aggregate().map(|(f, a)| (*f, a.to_vec())),
+            Some((AggFunc::Min, vec!["cost".to_string()]))
+        );
+        let r3 = parse_rule(BOUND_RULES[2]).unwrap();
+        assert_eq!(
+            r3.head_aggregate().map(|(f, a)| (*f, a.to_vec())),
+            Some((AggFunc::Max, vec!["bound".to_string()]))
+        );
+        // r1 propagates bounds arithmetically: bound - rCost - localCost.
+        let r1 = parse_rule(BOUND_RULES[0]).unwrap();
+        assert!(r1
+            .head
+            .terms
+            .iter()
+            .any(|t| matches!(t, Term::Diff(args) if args.len() == 3)));
+    }
+
+    #[test]
+    fn every_rule_round_trips_through_the_printer() {
+        for src in all_rules() {
+            let parsed = parse_rule(src).unwrap();
+            assert_eq!(parsed, parse_rule(&parsed.to_string()).unwrap());
+        }
     }
 }

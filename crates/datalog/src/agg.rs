@@ -41,7 +41,7 @@ impl OrderedMultiset {
             self.sum += i * count;
         }
         self.total += count;
-        let entry = self.values.entry(v.clone()).or_insert(0);
+        let entry = self.values.entry(v).or_insert(0);
         *entry += count;
         if *entry == 0 {
             self.values.remove(&v);
@@ -67,7 +67,7 @@ impl OrderedMultiset {
     pub fn next_above(&self, v: &Val) -> Option<&Val> {
         use std::ops::Bound;
         self.values
-            .range((Bound::Excluded(v.clone()), Bound::Unbounded))
+            .range((Bound::Excluded(*v), Bound::Unbounded))
             .find(|(_, &c)| c > 0)
             .map(|(val, _)| val)
     }

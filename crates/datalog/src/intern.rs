@@ -1,0 +1,138 @@
+//! Process-wide string interning for tuple values.
+//!
+//! The rule network flows relation columns like `logOp`/`phyOp` that
+//! hold a handful of distinct strings ("scan", "join", "pipelined-hash",
+//! …) through every `SearchSpace` tuple. Interning maps each distinct
+//! string to a dense [`Sym`] (a `u32`), so:
+//! - `Val::Str` carries 4 bytes instead of an `Arc<str>` fat pointer,
+//!   shrinking `Val` to 16 bytes;
+//! - *every* value kind packs into the [`crate::value::Tuple`] inline
+//!   representation — string-bearing tuples up to
+//!   [`crate::value::INLINE_CAP`] values no longer heap-allocate;
+//! - equality and hashing of string values become `u32` compares.
+//!
+//! Symbols are never freed: the distinct-string population of a rule
+//! network is a small closed set (operator names, relation tags), so the
+//! table only ever holds a few dozen entries.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use reopt_common::FxHashMap;
+
+/// An interned string: a dense index into the global symbol table.
+/// Equality and hashing are by index; ordering resolves to the
+/// underlying strings so `Val` ordering stays lexicographic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    by_str: FxHashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            by_str: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns `s`, returning its symbol (idempotent).
+    pub fn intern(s: &str) -> Sym {
+        let mut t = interner().lock().unwrap();
+        if let Some(&id) = t.by_str.get(s) {
+            return Sym(id);
+        }
+        let id = t.strings.len() as u32;
+        let arc: Arc<str> = Arc::from(s);
+        t.strings.push(arc.clone());
+        t.by_str.insert(arc, id);
+        Sym(id)
+    }
+
+    /// The interned string.
+    pub fn resolve(self) -> Arc<str> {
+        let t = interner().lock().unwrap();
+        t.strings[self.0 as usize].clone()
+    }
+
+    /// The raw table index (the word stored in packed tuples).
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a symbol from a packed word. The id must have come
+    /// from [`Sym::id`]; resolution panics on a fabricated index.
+    #[inline]
+    pub fn from_id(id: u32) -> Sym {
+        Sym(id)
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    /// Lexicographic on the underlying strings (one lock for both
+    /// resolutions); the common equal case short-circuits on the id.
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        let t = interner().lock().unwrap();
+        t.strings[self.0 as usize].cmp(&t.strings[other.0 as usize])
+    }
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.resolve())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::intern("hash-join");
+        let b = Sym::intern("hash-join");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(&*a.resolve(), "hash-join");
+        assert_eq!(Sym::from_id(a.id()), a);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Sym::intern("scan");
+        let b = Sym::intern("join");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_not_by_id() {
+        // Intern in reverse lexicographic order: ids ascend, strings
+        // descend — ordering must follow the strings.
+        let z = Sym::intern("zzz-order-test");
+        let a = Sym::intern("aaa-order-test");
+        assert!(a < z);
+        assert!(z > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_resolves() {
+        let s = Sym::intern("local-scan");
+        assert_eq!(s.to_string(), "local-scan");
+    }
+}

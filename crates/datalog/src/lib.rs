@@ -23,14 +23,19 @@
 //!   merging opposite-sign changes to the same tuple before they fan out
 //!   — per-delta FIFO execution survives as [`SchedulerMode::PerDelta`]
 //!   and is property-tested equivalent.
-//! - **Allocation-lean tuples**: values sequences up to
+//! - **Allocation-lean tuples**: value sequences up to
 //!   [`value::INLINE_CAP`] long live inline in the [`Tuple`] (no heap
 //!   traffic on the projection/join/key hot path); longer ones spill to
-//!   a shared `Arc<[Val]>`.
+//!   a shared `Arc<[Val]>`. Strings are interned ([`intern::Sym`]) so
+//!   string-bearing tuples pack inline too and `Val` is 16 bytes.
+//! - **External functions as operators** ([`ops::ExternalFn`]): the
+//!   paper's `Fn_*` predicates run inside the dataflow, processing delta
+//!   tuples like every other operator.
 
 pub mod agg;
 pub mod dataflow;
 pub mod delta;
+pub mod intern;
 pub mod ops;
 pub mod relation;
 pub mod value;
@@ -38,6 +43,7 @@ pub mod value;
 pub use agg::{AggKind, OrderedMultiset};
 pub use dataflow::{Dataflow, NodeId, RunStats, SchedulerMode, SinkId};
 pub use delta::{coalesce, CoalesceScratch, Delta};
-pub use ops::{Distinct, GroupAgg, HashJoin, Map, Operator, Union};
+pub use intern::Sym;
+pub use ops::{Distinct, ExternalFn, GroupAgg, HashJoin, Map, Operator, Union};
 pub use relation::{IndexedMultiset, Multiset};
 pub use value::{Tuple, Val};

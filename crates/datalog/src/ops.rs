@@ -47,7 +47,7 @@ pub trait Operator {
         true
     }
 
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
 }
 
 /// The transformation a [`Map`] applies per tuple.
@@ -91,8 +91,62 @@ impl Operator for Map {
         false
     }
 
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "map"
+    }
+}
+
+/// The callback behind an [`ExternalFn`] node: receives one input tuple
+/// and pushes zero or more output tuples into the sink.
+pub type ExternalFnBody = Box<dyn FnMut(&Tuple, &mut dyn FnMut(Tuple))>;
+
+/// Stateless external-function operator — the paper's `Fn_*` predicates
+/// (`Fn_split`, `Fn_scancost`, `Fn_sum`, …) lifted into the dataflow: for
+/// each input tuple the callback computes zero or more output tuples
+/// (typically the input bindings extended with the function's results).
+/// Linear: every output delta carries the input delta's count, so
+/// retractions flow through external functions exactly like insertions —
+/// the §4 requirement that operators "process delta tuples encoding
+/// changes" applies to the external predicates too.
+///
+/// The callback must be **deterministic** (same input tuple ⇒ same
+/// outputs): a retraction re-invokes it to reconstruct what to retract.
+pub struct ExternalFn {
+    name: String,
+    f: ExternalFnBody,
+}
+
+impl ExternalFn {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl FnMut(&Tuple, &mut dyn FnMut(Tuple)) + 'static,
+    ) -> ExternalFn {
+        ExternalFn {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl Operator for ExternalFn {
+    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+        for delta in deltas {
+            if delta.count == 0 {
+                continue;
+            }
+            let count = delta.count;
+            (self.f)(&delta.tuple, &mut |t| {
+                out.push(Delta::with_count(t, count));
+            });
+        }
+    }
+
+    fn coalesces_input(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -166,7 +220,7 @@ impl Operator for HashJoin {
         2
     }
 
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "join"
     }
 }
@@ -242,7 +296,7 @@ impl Operator for GroupAgg {
         }
     }
 
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "group-agg"
     }
 }
@@ -277,7 +331,7 @@ impl Operator for Distinct {
         }
     }
 
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "distinct"
     }
 }
@@ -311,7 +365,7 @@ impl Operator for Union {
         false
     }
 
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "union"
     }
 }
@@ -474,6 +528,38 @@ mod tests {
         assert!(run(&mut d, 0, Delta::delete(ints(&[1]))).is_empty());
         let out = run(&mut d, 0, Delta::delete(ints(&[1])));
         assert_eq!(out, vec![Delta::delete(ints(&[1]))]);
+    }
+
+    #[test]
+    fn external_fn_expands_and_preserves_counts() {
+        // A toy Fn_split: (x) -> (x, x+1), (x, x+2).
+        let mut f = ExternalFn::new("Fn_split", |t, emit| {
+            let x = t.get(0).as_int();
+            emit(ints(&[x, x + 1]));
+            emit(ints(&[x, x + 2]));
+        });
+        let out = run(&mut f, 0, Delta::insert(ints(&[5])));
+        assert_eq!(
+            out,
+            vec![Delta::insert(ints(&[5, 6])), Delta::insert(ints(&[5, 7]))]
+        );
+        // Retractions re-derive the same outputs with negated counts.
+        let out = run(&mut f, 0, Delta::with_count(ints(&[5]), -2));
+        assert!(out.iter().all(|d| d.count == -2));
+        assert_eq!(out.len(), 2);
+        assert_eq!(f.name(), "Fn_split");
+    }
+
+    #[test]
+    fn external_fn_can_filter() {
+        // A boolean guard: emits the input only when col 0 is even.
+        let mut f = ExternalFn::new("Fn_even", |t, emit| {
+            if t.get(0).as_int() % 2 == 0 {
+                emit(t.clone());
+            }
+        });
+        assert!(run(&mut f, 0, Delta::insert(ints(&[3]))).is_empty());
+        assert_eq!(run(&mut f, 0, Delta::insert(ints(&[4]))).len(), 1);
     }
 
     #[test]

@@ -2,16 +2,16 @@
 //!
 //! The tuple representation is the innermost allocation site of the
 //! whole system: every delta, every projection, every join key and every
-//! join output constructs one. Short tuples of *scalar* values (up to
-//! [`INLINE_CAP`] `Int`/`Cost` values — which covers every relation the
-//! optimizer encoding and the test networks emit) are therefore stored
-//! inline as packed 64-bit words: 48 bytes, `memcpy`-clonable, no heap
-//! traffic and no drop glue. Tuples that are longer or contain strings
-//! spill to a shared `Arc<[Val]>`.
+//! join output constructs one. Values are 16 bytes (`Int`/`Cost` carry
+//! their 8-byte payload, `Str` carries an interned [`Sym`] — see
+//! [`crate::intern`]), so short tuples of up to [`INLINE_CAP`] values of
+//! *any* kind are stored inline as packed 64-bit words: 48 bytes,
+//! `memcpy`-clonable, no heap traffic and no drop glue. Only tuples
+//! longer than [`INLINE_CAP`] spill to a shared `Arc<[Val]>`.
 //!
 //! The representation is **canonical**: a given logical value sequence
-//! always packs the same way (scalar-and-short ⟺ inline), so equality
-//! and hashing can specialize per representation without cross-checks.
+//! always packs the same way (short ⟺ inline), so equality and hashing
+//! can specialize per representation without cross-checks.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -20,12 +20,15 @@ use std::sync::Arc;
 
 use reopt_common::{Cost, FxHasher};
 
+use crate::intern::Sym;
+
 /// A single value. Totally ordered and hashable (required by join keys
 /// and min/max aggregation).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Val {
     Int(i64),
-    Str(Arc<str>),
+    /// An interned string (equality by symbol, ordering lexicographic).
+    Str(Sym),
     /// Totally-ordered float (plan costs in the optimizer-as-datalog
     /// encoding).
     Cost(Cost),
@@ -33,7 +36,7 @@ pub enum Val {
 
 impl Val {
     pub fn str(s: &str) -> Val {
-        Val::Str(Arc::from(s))
+        Val::Str(Sym::intern(s))
     }
 
     pub fn cost(v: f64) -> Val {
@@ -52,6 +55,13 @@ impl Val {
             Val::Cost(c) => *c,
             Val::Int(v) => Cost::new(*v as f64),
             other => panic!("expected Cost, got {other:?}"),
+        }
+    }
+
+    pub fn as_sym(&self) -> Sym {
+        match self {
+            Val::Str(s) => *s,
+            other => panic!("expected Str, got {other:?}"),
         }
     }
 }
@@ -78,19 +88,22 @@ impl fmt::Display for Val {
     }
 }
 
-/// Tuples up to this many scalar (`Int`/`Cost`) values are stored inline
-/// with no heap allocation.
+/// Tuples up to this many values are stored inline with no heap
+/// allocation.
 pub const INLINE_CAP: usize = 4;
 
-/// Inline storage: up to [`INLINE_CAP`] scalar values packed as raw
-/// 64-bit words plus a type-tag bitmask. `Copy` — cloning a scalar tuple
-/// is a plain memcpy with no refcounts and no drop glue.
+/// Inline storage: up to [`INLINE_CAP`] values packed as raw 64-bit
+/// words plus per-kind tag bitmasks. `Copy` — cloning a short tuple is a
+/// plain memcpy with no refcounts and no drop glue.
 #[derive(Clone, Copy, Debug)]
 struct Scalars {
     len: u8,
-    /// Bit `i` set ⇒ `words[i]` is the bit pattern of a [`Cost`];
-    /// clear ⇒ an `Int`. Bits at or above `len` are always clear.
+    /// Bit `i` set ⇒ `words[i]` is the bit pattern of a [`Cost`].
     cost_mask: u8,
+    /// Bit `i` set ⇒ `words[i]` is a [`Sym`] id. Disjoint from
+    /// `cost_mask`; both clear ⇒ an `Int`. Bits at or above `len` are
+    /// always clear.
+    sym_mask: u8,
     words: [i64; INLINE_CAP],
 }
 
@@ -98,12 +111,13 @@ impl Scalars {
     const EMPTY: Scalars = Scalars {
         len: 0,
         cost_mask: 0,
+        sym_mask: 0,
         words: [0; INLINE_CAP],
     };
 
     #[inline]
-    fn is_cost(&self, i: usize) -> bool {
-        self.cost_mask >> i & 1 == 1
+    fn tag(&self, i: usize) -> u8 {
+        (self.cost_mask >> i & 1) | (self.sym_mask >> i & 1) << 1
     }
 
     #[inline]
@@ -113,37 +127,48 @@ impl Scalars {
             "index {i} out of bounds for tuple of {}",
             self.len
         );
-        if self.is_cost(i) {
-            Val::Cost(Cost::new(f64::from_bits(self.words[i] as u64)))
-        } else {
-            Val::Int(self.words[i])
-        }
+        unpack(self.words[i], self.tag(i))
     }
 
     #[inline]
-    fn push(&mut self, word: i64, is_cost: bool) {
+    fn push(&mut self, word: i64, tag: u8) {
         let i = self.len as usize;
         debug_assert!(i < INLINE_CAP);
         self.words[i] = word;
-        self.cost_mask |= (is_cost as u8) << i;
+        self.cost_mask |= (tag & 1) << i;
+        self.sym_mask |= (tag >> 1 & 1) << i;
         self.len += 1;
     }
 }
 
-/// Packs a scalar value into its canonical word: `Int` verbatim, `Cost`
-/// as its bit pattern with `-0.0` normalized to `0.0` (so word equality
-/// coincides with `Cost` equality; NaN is excluded by `Cost` itself).
-/// `None` for strings, which cannot pack.
+/// Per-value type tags of the packed encoding.
+const TAG_INT: u8 = 0;
+const TAG_COST: u8 = 1;
+const TAG_SYM: u8 = 2;
+
+/// Packs a value into its canonical `(word, tag)`: `Int` verbatim,
+/// `Cost` as its bit pattern with `-0.0` normalized to `0.0` (so word
+/// equality coincides with `Cost` equality; NaN is excluded by `Cost`
+/// itself), `Str` as its symbol id. Total — every value packs.
 #[inline]
-fn pack(v: &Val) -> Option<(i64, bool)> {
+fn pack(v: &Val) -> (i64, u8) {
     match v {
-        Val::Int(i) => Some((*i, false)),
+        Val::Int(i) => (*i, TAG_INT),
         Val::Cost(c) => {
             let x = c.value();
             let x = if x == 0.0 { 0.0 } else { x };
-            Some((x.to_bits() as i64, true))
+            (x.to_bits() as i64, TAG_COST)
         }
-        Val::Str(_) => None,
+        Val::Str(s) => (s.id() as i64, TAG_SYM),
+    }
+}
+
+#[inline]
+fn unpack(word: i64, tag: u8) -> Val {
+    match tag {
+        TAG_COST => Val::Cost(Cost::new(f64::from_bits(word as u64))),
+        TAG_SYM => Val::Str(Sym::from_id(word as u32)),
+        _ => Val::Int(word),
     }
 }
 
@@ -167,18 +192,14 @@ impl Tuple {
     pub fn from_slice(vals: &[Val]) -> Tuple {
         if vals.len() <= INLINE_CAP {
             let mut s = Scalars::EMPTY;
-            let all_scalar = vals.iter().all(|v| match pack(v) {
-                Some((w, is_c)) => {
-                    s.push(w, is_c);
-                    true
-                }
-                None => false,
-            });
-            if all_scalar {
-                return Tuple(Repr::Inline(s));
+            for v in vals {
+                let (w, tag) = pack(v);
+                s.push(w, tag);
             }
+            Tuple(Repr::Inline(s))
+        } else {
+            Tuple(Repr::Spilled(vals.iter().cloned().collect()))
         }
-        Tuple(Repr::Spilled(vals.iter().cloned().collect()))
     }
 
     #[inline]
@@ -193,13 +214,13 @@ impl Tuple {
         self.len() == 0
     }
 
-    /// The value at position `i` (owned; inline scalars are
-    /// reconstructed from their packed words).
+    /// The value at position `i` (owned; inline values are reconstructed
+    /// from their packed words).
     #[inline]
     pub fn get(&self, i: usize) -> Val {
         match &self.0 {
             Repr::Inline(s) => s.val(i),
-            Repr::Spilled(vals) => vals[i].clone(),
+            Repr::Spilled(vals) => vals[i],
         }
     }
 
@@ -210,7 +231,7 @@ impl Tuple {
 
     /// Projects the given column indexes into a new tuple, building the
     /// target representation directly (no intermediate `Vec` and, for
-    /// scalar sources, no allocation at all).
+    /// short outputs, no allocation at all).
     pub fn project(&self, cols: &[usize]) -> Tuple {
         match &self.0 {
             Repr::Inline(s) if cols.len() <= INLINE_CAP => {
@@ -221,28 +242,17 @@ impl Tuple {
                         "column {c} out of bounds for tuple of {}",
                         s.len
                     );
-                    out.push(s.words[c], s.is_cost(c));
+                    out.push(s.words[c], s.tag(c));
                 }
                 Tuple(Repr::Inline(out))
             }
             Repr::Spilled(vals) if cols.len() <= INLINE_CAP => {
                 let mut out = Scalars::EMPTY;
-                let all_scalar = cols.iter().all(|&c| match pack(&vals[c]) {
-                    Some((w, is_c)) => {
-                        out.push(w, is_c);
-                        true
-                    }
-                    None => false,
-                });
-                if all_scalar {
-                    Tuple(Repr::Inline(out))
-                } else {
-                    // `slice::Iter` is `TrustedLen`: one allocation,
-                    // straight into the `Arc`.
-                    Tuple(Repr::Spilled(
-                        cols.iter().map(|&c| vals[c].clone()).collect(),
-                    ))
+                for &c in cols {
+                    let (w, tag) = pack(&vals[c]);
+                    out.push(w, tag);
                 }
+                Tuple(Repr::Inline(out))
             }
             _ => Tuple(Repr::Spilled(
                 cols.iter().map(|&c| self.get(c)).collect(),
@@ -256,7 +266,7 @@ impl Tuple {
             if a.len as usize + b.len as usize <= INLINE_CAP {
                 let mut out = *a;
                 for i in 0..b.len as usize {
-                    out.push(b.words[i], b.is_cost(i));
+                    out.push(b.words[i], b.tag(i));
                 }
                 return Tuple(Repr::Inline(out));
             }
@@ -272,11 +282,10 @@ impl Tuple {
     pub fn with_appended(&self, v: Val) -> Tuple {
         if let Repr::Inline(s) = &self.0 {
             if (s.len as usize) < INLINE_CAP {
-                if let Some((w, is_c)) = pack(&v) {
-                    let mut out = *s;
-                    out.push(w, is_c);
-                    return Tuple(Repr::Inline(out));
-                }
+                let (w, tag) = pack(&v);
+                let mut out = *s;
+                out.push(w, tag);
+                return Tuple(Repr::Inline(out));
             }
         }
         let mut vals = Vec::with_capacity(self.len() + 1);
@@ -286,7 +295,8 @@ impl Tuple {
     }
 
     /// The tuple's FxHash — the batch coalescer's index key.
-    /// Deterministic across runs.
+    /// Deterministic across runs (symbol ids are allocation-ordered, so
+    /// only within one process).
     pub fn fx_hash(&self) -> u64 {
         let mut h = FxHasher::default();
         self.hash(&mut h);
@@ -303,12 +313,13 @@ impl Tuple {
         match &self.0 {
             Repr::Inline(s) => {
                 for &c in cols {
-                    hash_scalar_word(&mut h, s.is_cost(c), s.words[c]);
+                    hash_packed_word(&mut h, s.tag(c), s.words[c]);
                 }
             }
             Repr::Spilled(vals) => {
                 for &c in cols {
-                    hash_val_canonical(&mut h, &vals[c]);
+                    let (w, tag) = pack(&vals[c]);
+                    hash_packed_word(&mut h, tag, w);
                 }
             }
         }
@@ -325,26 +336,13 @@ impl Tuple {
     }
 }
 
-/// Canonical per-value hashing for packed scalars: a type tag byte, then
-/// the packed word.
+/// Canonical per-value hashing: a type tag byte, then the packed word.
+/// The same function serves inline words and (re-packed) spilled values,
+/// so key hashes agree across representations.
 #[inline]
-fn hash_scalar_word<H: Hasher>(h: &mut H, is_cost: bool, word: i64) {
-    h.write_u8(is_cost as u8);
+fn hash_packed_word<H: Hasher>(h: &mut H, tag: u8, word: i64) {
+    h.write_u8(tag);
     h.write_u64(word as u64);
-}
-
-/// Canonical per-value hashing for unpacked values, matching
-/// [`hash_scalar_word`] for scalars.
-fn hash_val_canonical<H: Hasher>(h: &mut H, v: &Val) {
-    match pack(v) {
-        Some((w, is_c)) => hash_scalar_word(h, is_c, w),
-        None => {
-            h.write_u8(2);
-            if let Val::Str(s) = v {
-                s.hash(h);
-            }
-        }
-    }
 }
 
 /// Value equality across arbitrary representations, without
@@ -353,7 +351,7 @@ fn hash_val_canonical<H: Hasher>(h: &mut H, v: &Val) {
 fn val_eq(a: &Tuple, i: usize, b: &Tuple, j: usize) -> bool {
     match (&a.0, &b.0) {
         (Repr::Inline(x), Repr::Inline(y)) => {
-            x.is_cost(i) == y.is_cost(j) && x.words[i] == y.words[j]
+            x.tag(i) == y.tag(j) && x.words[i] == y.words[j]
         }
         (Repr::Spilled(x), Repr::Spilled(y)) => x[i] == y[j],
         (Repr::Inline(x), Repr::Spilled(y)) => packed_eq_val(x, i, &y[j]),
@@ -363,10 +361,8 @@ fn val_eq(a: &Tuple, i: usize, b: &Tuple, j: usize) -> bool {
 
 #[inline]
 fn packed_eq_val(s: &Scalars, i: usize, v: &Val) -> bool {
-    match pack(v) {
-        Some((w, is_c)) => s.is_cost(i) == is_c && s.words[i] == w,
-        None => false,
-    }
+    let (w, tag) = pack(v);
+    s.tag(i) == tag && s.words[i] == w
 }
 
 impl PartialEq for Tuple {
@@ -375,11 +371,12 @@ impl PartialEq for Tuple {
             (Repr::Inline(a), Repr::Inline(b)) => {
                 a.len == b.len
                     && a.cost_mask == b.cost_mask
+                    && a.sym_mask == b.sym_mask
                     && a.words[..a.len as usize] == b.words[..b.len as usize]
             }
             (Repr::Spilled(a), Repr::Spilled(b)) => a == b,
-            // Canonical representation: a scalar-short tuple is always
-            // inline, so differing representations differ in content.
+            // Canonical representation: a short tuple is always inline,
+            // so differing representations differ in length.
             _ => false,
         }
     }
@@ -395,6 +392,7 @@ impl Hash for Tuple {
             Repr::Inline(s) => {
                 state.write_u8(s.len);
                 state.write_u8(s.cost_mask);
+                state.write_u8(s.sym_mask);
                 for &w in &s.words[..s.len as usize] {
                     state.write_u64(w as u64);
                 }
@@ -402,7 +400,8 @@ impl Hash for Tuple {
             Repr::Spilled(vals) => {
                 state.write_usize(vals.len());
                 for v in vals.iter() {
-                    hash_val_canonical(state, v);
+                    let (w, tag) = pack(v);
+                    hash_packed_word(state, tag, w);
                 }
             }
         }
@@ -417,9 +416,11 @@ impl PartialOrd for Tuple {
 
 impl Ord for Tuple {
     fn cmp(&self, other: &Tuple) -> Ordering {
-        // Fast path: two all-int inline tuples order as their raw words.
+        // Fast path: two all-int inline tuples order as their raw words
+        // (symbol ids are *not* lexicographic, so they take the slow
+        // path).
         if let (Repr::Inline(a), Repr::Inline(b)) = (&self.0, &other.0) {
-            if a.cost_mask == 0 && b.cost_mask == 0 {
+            if a.cost_mask | a.sym_mask == 0 && b.cost_mask | b.sym_mask == 0 {
                 return a.words[..a.len as usize].cmp(&b.words[..b.len as usize]);
             }
         }
@@ -458,7 +459,7 @@ pub fn ints(vals: &[i64]) -> Tuple {
     if vals.len() <= INLINE_CAP {
         let mut s = Scalars::EMPTY;
         for &v in vals {
-            s.push(v, false);
+            s.push(v, TAG_INT);
         }
         Tuple(Repr::Inline(s))
     } else {
@@ -469,6 +470,14 @@ pub fn ints(vals: &[i64]) -> Tuple {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn val_is_sixteen_bytes() {
+        // The interning payoff the ROADMAP targets: `Str` carries a u32
+        // symbol, so the enum needs only one word of payload.
+        assert_eq!(std::mem::size_of::<Val>(), 16);
+        assert_eq!(std::mem::size_of::<Tuple>(), 48);
+    }
 
     #[test]
     fn tuple_projection_and_concat() {
@@ -482,6 +491,11 @@ mod tests {
         assert!(Val::Int(1) < Val::Int(2));
         assert!(Val::cost(1.0) < Val::cost(2.0));
         assert!(Val::str("a") < Val::str("b"));
+        // Symbol ordering is lexicographic even when interning order
+        // disagrees with it.
+        let late_a = Val::str("0a-late");
+        let early_z = Val::str("0z-early");
+        assert!(late_a < early_z);
     }
 
     #[test]
@@ -489,6 +503,7 @@ mod tests {
         assert_eq!(Val::Int(3).as_int(), 3);
         assert_eq!(Val::cost(2.5).as_cost().value(), 2.5);
         assert_eq!(Val::Int(2).as_cost().value(), 2.0);
+        assert_eq!(Val::str("x").as_sym(), crate::intern::Sym::intern("x"));
     }
 
     #[test]
@@ -532,17 +547,41 @@ mod tests {
     }
 
     #[test]
-    fn strings_spill_and_compare_across_reprs() {
+    fn strings_pack_inline_and_compare() {
+        // Interned strings pack like any scalar: no heap allocation for
+        // short string-bearing tuples.
         let s = tup([Val::str("a"), Val::Int(1)]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(0), Val::str("a"));
-        // A scalar tuple never equals a string-bearing one.
+        assert_eq!(s, tup([Val::str("a"), Val::Int(1)]));
+        // A same-shape tuple with a different value kind never equals it.
         assert_ne!(s, ints(&[0, 1]));
-        // Mixed-repr ordering follows Val order (Int < Str < Cost).
+        // Mixed ordering follows Val order (Int < Str < Cost).
         assert!(ints(&[0, 1]) < s);
-        assert!(s < tup([Val::cost(0.0)]).concat(&ints(&[1])));
-        // Projecting the scalar column of a spilled tuple re-packs it.
+        assert!(s < tup([Val::cost(0.0), Val::Int(1)]));
+        // Projection keeps the packed encoding.
         assert_eq!(s.project(&[1]), ints(&[1]));
+        assert_eq!(s.project(&[0]), tup([Val::str("a")]));
+    }
+
+    #[test]
+    fn string_bearing_tuples_spill_past_inline_cap() {
+        let wide = tup([
+            Val::str("w"),
+            Val::Int(1),
+            Val::Int(2),
+            Val::Int(3),
+        ])
+        .with_appended(Val::str("x"));
+        assert_eq!(wide.len(), 5);
+        assert_eq!(wide.get(0), Val::str("w"));
+        assert_eq!(wide.get(4), Val::str("x"));
+        // Projecting back under the cap re-packs, and key hashing agrees
+        // across representations.
+        let narrow = wide.project(&[0, 4]);
+        assert_eq!(narrow, tup([Val::str("w"), Val::str("x")]));
+        assert!(wide.cols_eq(&[0, 4], &narrow, &[0, 1]));
+        assert_eq!(wide.hash_cols(&[0, 4]), narrow.hash_cols(&[0, 1]));
     }
 
     #[test]
@@ -567,9 +606,15 @@ mod tests {
         assert!(!a.cols_eq(&[1, 2], &b, &[1, 2]));
         // Key hashing is representation-independent: the same column
         // values hash alike from an inline and a spilled tuple.
-        let spilled = tup([Val::str("pad"), Val::Int(1), Val::Int(3)]);
-        assert!(spilled.cols_eq(&[1, 2], &a, &[0, 2]));
-        assert_eq!(spilled.hash_cols(&[1, 2]), a.hash_cols(&[0, 2]));
+        let spilled = tup([
+            Val::str("pad"),
+            Val::str("pad2"),
+            Val::Int(1),
+            Val::Int(3),
+            Val::Int(9),
+        ]);
+        assert!(spilled.cols_eq(&[2, 3], &a, &[0, 2]));
+        assert_eq!(spilled.hash_cols(&[2, 3]), a.hash_cols(&[0, 2]));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! See the individual crates for documentation:
 //! - [`core`] — the incremental declarative optimizer (the paper's contribution)
+//! - [`bridge`] — the same rule spec compiled onto the dataflow substrate
 //! - [`baselines`] — Volcano / System-R procedural optimizers
 //! - [`datalog`] — the delta-processing dataflow substrate
 //! - [`exec`] — the pipelined stored/stream execution engine
@@ -11,6 +12,7 @@
 
 pub use reopt_aqp as aqp;
 pub use reopt_baselines as baselines;
+pub use reopt_bridge as bridge;
 pub use reopt_catalog as catalog;
 pub use reopt_common as common;
 pub use reopt_core as core;
