@@ -29,7 +29,7 @@ use reopt_common::FxHashMap;
 use reopt_core::rules_ir::{AggFunc, Atom, Rule, Term};
 use reopt_datalog::{
     AggKind, Dataflow, Delta, Distinct, ExternalFn, GroupAgg, HashJoin, Map, Multiset,
-    NodeId, RunStats, SinkId, Tuple, Union, Val,
+    NodeId, RunStats, SchedulerMode, SinkId, Tuple, Union, Val,
 };
 
 /// The value standing in for the rules' `null` constant: a dedicated
@@ -42,6 +42,12 @@ pub fn null_value() -> Val {
 /// The value encoding of the rules' `true`/`false` constants.
 pub fn bool_value(b: bool) -> Val {
     Val::Int(b as i64)
+}
+
+/// Variables the rule head references (liveness roots) — the head is
+/// itself an [`Atom`], so this is its `vars()` owned.
+fn head_var_names(rule: &Rule) -> Vec<String> {
+    rule.head.vars().into_iter().map(String::from).collect()
 }
 
 fn const_value(t: &Term) -> Option<Val> {
@@ -81,17 +87,48 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
 }
 
 /// Builder for a [`RuleNetwork`].
-#[derive(Default)]
 pub struct NetworkBuilder {
     rules: Vec<Rule>,
     inputs: Vec<(String, usize)>,
     externals: FxHashMap<String, ExternalDef>,
     sinks: Vec<String>,
+    mode: SchedulerMode,
+    fusion: bool,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> NetworkBuilder {
+        NetworkBuilder {
+            rules: Vec::new(),
+            inputs: Vec::new(),
+            externals: FxHashMap::default(),
+            sinks: Vec::new(),
+            mode: SchedulerMode::Batched,
+            fusion: true,
+        }
+    }
 }
 
 impl NetworkBuilder {
     pub fn new() -> NetworkBuilder {
         NetworkBuilder::default()
+    }
+
+    /// Selects the substrate scheduler (default batched).
+    pub fn scheduler_mode(mut self, mode: SchedulerMode) -> NetworkBuilder {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables or disables operator-chain fusion (default on; only
+    /// effective under the batched scheduler). The compiler fuses the
+    /// wired network once at [`NetworkBuilder::build`] time, so every
+    /// single-consumer stateless chain a rule body lowers to — scan
+    /// filter → external function → head projection — runs as one
+    /// operator.
+    pub fn fusion(mut self, on: bool) -> NetworkBuilder {
+        self.fusion = on;
+        self
     }
 
     /// Adds parsed rules.
@@ -179,9 +216,11 @@ impl Binding {
 
 impl Compiler {
     fn new(b: NetworkBuilder) -> Result<Compiler, CompileError> {
+        let mut df = Dataflow::with_mode(b.mode);
+        df.set_fusion(b.fusion);
         Ok(Compiler {
             b,
-            df: Dataflow::new(),
+            df,
             rels: FxHashMap::default(),
         })
     }
@@ -200,6 +239,11 @@ impl Compiler {
                 .get(&name)
                 .ok_or_else(|| CompileError(format!("sink on unknown relation `{name}`")))?;
             sinks.insert(name.clone(), self.df.add_sink(rel.read));
+        }
+        // The network is fully wired: fuse single-consumer stateless
+        // chains now so the first run doesn't pay the pass.
+        if self.b.fusion && self.b.mode == SchedulerMode::Batched {
+            self.df.fuse();
         }
         let inputs = self
             .rels
@@ -336,8 +380,26 @@ impl Compiler {
     }
 
     fn compile_rule(&mut self, rule: &Rule) -> Result<(), CompileError> {
+        // Liveness, computed right-to-left: `needed[i]` holds the
+        // variables referenced by body atoms after position `i` or by
+        // the head — the only columns worth carrying past atom `i`.
+        // Everything else is projected away inside the joins/externals
+        // themselves (dead-column elimination), which keeps most
+        // intermediate tuples at or under the inline width.
+        let n = rule.body.len();
+        let mut needed: Vec<Vec<String>> = vec![Vec::new(); n];
+        let mut acc = head_var_names(rule);
+        for i in (0..n).rev() {
+            needed[i] = acc.clone();
+            for v in rule.body[i].vars() {
+                if !acc.iter().any(|a| a == v) {
+                    acc.push(v.to_string());
+                }
+            }
+        }
         let mut binding: Option<Binding> = None;
-        for atom in &rule.body {
+        for (i, atom) in rule.body.iter().enumerate() {
+            let live = &needed[i];
             binding = Some(if atom.is_external() {
                 let b = match binding {
                     Some(b) => b,
@@ -348,12 +410,16 @@ impl Compiler {
                         ))
                     }
                 };
-                self.compile_external(rule, atom, b)?
+                self.compile_external(rule, atom, b, live)?
             } else {
-                let scan = self.compile_scan(rule, atom)?;
+                let prior: Vec<String> = binding
+                    .as_ref()
+                    .map(|b| b.vars.clone())
+                    .unwrap_or_default();
+                let scan = self.compile_scan(rule, atom, live, &prior)?;
                 match binding {
                     None => scan,
-                    Some(b) => self.compile_join(b, scan),
+                    Some(b) => self.compile_join(b, scan, live),
                 }
             });
         }
@@ -368,8 +434,16 @@ impl Compiler {
     }
 
     /// One stored-relation body atom: filter constants / duplicate
-    /// variables, project to the distinct variable columns.
-    fn compile_scan(&mut self, rule: &Rule, atom: &Atom) -> Result<Binding, CompileError> {
+    /// variables, project to the distinct variable columns that are
+    /// still *needed* — either live downstream (`live`) or join keys
+    /// shared with the accumulated binding (`prior`).
+    fn compile_scan(
+        &mut self,
+        rule: &Rule,
+        atom: &Atom,
+        live: &[String],
+        prior: &[String],
+    ) -> Result<Binding, CompileError> {
         let rel = &self.rels[&atom.relation];
         if rel.arity != atom.arity() {
             return err(format!(
@@ -410,7 +484,20 @@ impl Compiler {
                 }
             }
         }
-        // Identity scan (all positions distinct vars): read directly.
+        // Dead-column elimination: drop variables neither live after
+        // this atom nor joining against the accumulated binding.
+        let mut k = 0;
+        for i in 0..vars.len() {
+            if live.contains(&vars[i]) || prior.contains(&vars[i]) {
+                proj.swap(k, i);
+                vars.swap(k, i);
+                k += 1;
+            }
+        }
+        proj.truncate(k);
+        vars.truncate(k);
+        // Identity scan (all positions distinct live vars): read
+        // directly.
         if checks.is_empty() && proj.len() == atom.arity() {
             return Ok(Binding { node: source, vars });
         }
@@ -433,42 +520,47 @@ impl Compiler {
     }
 
     /// Joins the intermediate with a scanned atom on their shared
-    /// variables (an empty share degenerates to a cross join), then
-    /// projects away the duplicated key columns.
-    fn compile_join(&mut self, left: Binding, right: Binding) -> Binding {
+    /// variables (an empty share degenerates to a cross join),
+    /// projecting away duplicated key columns *and* dead columns inside
+    /// the join (the fused join-then-project output path: one tuple
+    /// construction per match instead of a wide concat plus a
+    /// projection hop).
+    fn compile_join(&mut self, left: Binding, right: Binding, live: &[String]) -> Binding {
         let shared: Vec<&String> =
             left.vars.iter().filter(|v| right.vars.contains(v)).collect();
         let lk: Vec<usize> = shared.iter().map(|v| left.col(v).unwrap()).collect();
         let rk: Vec<usize> = shared.iter().map(|v| right.col(v).unwrap()).collect();
-        let join = self
-            .df
-            .add_op(HashJoin::new(lk, rk), &[left.node, right.node]);
-        // Output = left ++ right; keep left in full plus right's fresh
-        // variables.
+        // Output = (left ++ right) restricted to live variables (first
+        // occurrence wins; duplicated join keys and dead carriers drop).
         let lw = left.vars.len();
-        let mut proj: Vec<usize> = (0..lw).collect();
-        let mut vars = left.vars;
-        for (i, v) in right.vars.iter().enumerate() {
-            if !vars.contains(v) {
-                proj.push(lw + i);
+        let mut proj: Vec<usize> = Vec::new();
+        let mut vars: Vec<String> = Vec::new();
+        for (i, v) in left.vars.iter().chain(&right.vars).enumerate() {
+            if live.contains(v) && !vars.contains(v) {
+                proj.push(i);
                 vars.push(v.clone());
             }
         }
-        let node = if proj.len() == lw + right.vars.len() {
-            join
+        let join = if proj.len() == lw + right.vars.len() {
+            HashJoin::new(lk, rk)
         } else {
-            self.df.add_op(Map::project(proj), &[join])
+            HashJoin::with_projection(lk, rk, proj)
         };
+        let node = self.df.add_op(join, &[left.node, right.node]);
         Binding { node, vars }
     }
 
     /// An `Fn_*` atom: evaluate the registered external on the bound
-    /// input positions, check/bind the output positions.
+    /// input positions, check/bind the output positions. Emitted rows
+    /// carry only the live binding columns and live fresh outputs, so
+    /// the tail of a cost rule (`Fn_sum` → head) emits head-shaped,
+    /// usually inline, tuples.
     fn compile_external(
         &mut self,
         rule: &Rule,
         atom: &Atom,
         binding: Binding,
+        live: &[String],
     ) -> Result<Binding, CompileError> {
         let def = &self.b.externals[&atom.relation];
         if atom.arity() < def.inputs {
@@ -521,7 +613,6 @@ impl Compiler {
             CheckEarlier(usize),
         }
         let mut outs: Vec<Out> = Vec::new();
-        let mut vars = binding.vars.clone();
         let mut fresh: Vec<(String, usize)> = Vec::new();
         for (pos, t) in atom.terms[def.inputs..].iter().enumerate() {
             outs.push(match t {
@@ -531,8 +622,11 @@ impl Compiler {
                         Some(&(_, first)) => Out::CheckEarlier(first),
                         None => {
                             fresh.push((v.clone(), pos));
-                            vars.push(v.clone());
-                            Out::Bind
+                            if live.contains(v) {
+                                Out::Bind
+                            } else {
+                                Out::Ignore
+                            }
                         }
                     },
                 },
@@ -545,6 +639,21 @@ impl Compiler {
                 }
                 other => Out::CheckConst(const_value(other).expect("constant")),
             });
+        }
+        // Emit only the live binding columns, then the live fresh
+        // outputs (in output-position order, matching `Out::Bind`s).
+        let mut keep: Vec<usize> = Vec::new();
+        let mut vars: Vec<String> = Vec::new();
+        for (c, v) in binding.vars.iter().enumerate() {
+            if live.contains(v) {
+                keep.push(c);
+                vars.push(v.clone());
+            }
+        }
+        for (v, _) in &fresh {
+            if live.contains(v) {
+                vars.push(v.clone());
+            }
         }
         let body = Rc::clone(&def.body);
         let label = atom.relation.clone();
@@ -570,7 +679,7 @@ impl Compiler {
                         n_out
                     );
                     row_scratch.clear();
-                    row_scratch.extend(t.values());
+                    row_scratch.extend(keep.iter().map(|&c| t.get(c)));
                     for (spec, v) in outs.iter().zip(row) {
                         match spec {
                             Out::Bind => row_scratch.push(*v),
@@ -637,6 +746,16 @@ impl Compiler {
                 Term::Agg(f, args) => HeadCol::Combine(*f, resolve(args)?),
                 other => HeadCol::Const(const_value(other).expect("constant")),
             });
+        }
+        // Identity head (liveness pruning usually leaves the binding in
+        // exactly head shape): no projection node at all.
+        if cols.len() == binding.vars.len()
+            && cols
+                .iter()
+                .enumerate()
+                .all(|(k, c)| matches!(c, HeadCol::Col(i) if *i == k))
+        {
+            return Ok(binding.node);
         }
         let mut scratch: Vec<Val> = Vec::new();
         Ok(self.df.add_op(
@@ -777,6 +896,12 @@ impl RuleNetwork {
     /// Number of dataflow nodes (diagnostics).
     pub fn node_count(&self) -> usize {
         self.df.node_count()
+    }
+
+    /// Number of operator nodes absorbed into fused chains
+    /// (diagnostics; 0 when fusion is disabled).
+    pub fn fused_node_count(&self) -> usize {
+        self.df.fused_node_count()
     }
 }
 
@@ -991,6 +1116,77 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(e.to_string().contains("seeding input"), "{e}");
+    }
+
+    #[test]
+    fn scheduler_and_fusion_options_preserve_results() {
+        // The same program under {batched+fusion (default), batched,
+        // per-delta} — identical sinks after mixed churn, and the fused
+        // build visibly collapsed chain nodes.
+        let build = |mode: SchedulerMode, fusion: bool| {
+            NetworkBuilder::new()
+                .scheduler_mode(mode)
+                .fusion(fusion)
+                .input("In", 2)
+                .external("Fn_inc", 1, |args, emit| {
+                    emit(&[Val::Int(args[0].as_int() + 1)]);
+                })
+                .rule_texts([
+                    "A: Mid(x,y) :- In(x,y);",
+                    "B: Out(y) :- Mid(x,-), Fn_inc(x,y);",
+                ])
+                .unwrap()
+                .sink("Out")
+                .build()
+                .unwrap()
+        };
+        let mut nets = [
+            build(SchedulerMode::Batched, true),
+            build(SchedulerMode::Batched, false),
+            build(SchedulerMode::PerDelta, false),
+        ];
+        for (a, b, ins) in [(1, 10, true), (2, 20, true), (1, 10, false), (3, 5, true)] {
+            for net in nets.iter_mut() {
+                if ins {
+                    net.insert("In", ints(&[a, b]));
+                } else {
+                    net.delete("In", ints(&[a, b]));
+                }
+                net.run().unwrap();
+            }
+        }
+        let reference = nets[0].sink("Out").sorted();
+        assert_eq!(reference, vec![ints(&[3]), ints(&[4])]);
+        for net in &nets[1..] {
+            assert_eq!(net.sink("Out").sorted(), reference);
+            assert_eq!(net.fused_node_count(), 0);
+        }
+        assert!(nets[0].fused_node_count() > 0, "no chains fused");
+    }
+
+    #[test]
+    fn dead_columns_are_pruned_from_rule_bodies() {
+        // `Wide` carries 6 columns; the rule only ever needs `a` and
+        // `f`. Liveness pruning keeps the network correct while the
+        // intermediates stay narrow (observable indirectly: results
+        // match, and the head Map disappeared so the network is small).
+        let mut net = NetworkBuilder::new()
+            .input("Wide", 6)
+            .input("K", 1)
+            .rule_texts(["W: Out(a,f) :- Wide(a,b,c,d,e,f), K(a);"])
+            .unwrap()
+            .sink("Out")
+            .build()
+            .unwrap();
+        net.insert("Wide", ints(&[1, 2, 3, 4, 5, 6]));
+        net.insert("Wide", ints(&[9, 2, 3, 4, 5, 8]));
+        net.insert("K", ints(&[1]));
+        net.run().unwrap();
+        assert_eq!(net.sink("Out").sorted(), vec![ints(&[1, 6])]);
+        net.delete("Wide", ints(&[1, 2, 3, 4, 5, 6]));
+        net.insert("K", ints(&[9]));
+        net.run().unwrap();
+        assert_eq!(net.sink("Out").sorted(), vec![ints(&[9, 8])]);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use reopt_bridge::DataflowOptimizer;
 use reopt_catalog::{Catalog, ColumnStats, TableBuilder, TableStats};
 use reopt_core::{IncrementalOptimizer, PruningConfig};
-use reopt_cost::ParamDelta;
+use reopt_cost::{CostContext, ParamDelta};
 use reopt_expr::{EdgeId, LeafId, QuerySpec};
 
 /// Deterministic description of a random query instance (same shape as
@@ -102,6 +102,47 @@ fn deltas_for(q: &QuerySpec, raw: &[(u8, u8, u8)], increase_only: bool) -> Vec<P
             }
         })
         .collect()
+}
+
+/// Replays a delta sequence step by step with fresh engines, checking
+/// `BestPlan` equivalence after *every* step: both engines' best costs
+/// must agree, and the dataflow's extracted plan must re-price to that
+/// cost under an independent cost context (so a stale `BestPlan` view
+/// can't hide behind a correct scalar). Returns the first failing step.
+fn check_stepwise(c: &Catalog, q: &QuerySpec, seq: &[(u8, u8, u8)]) -> Result<(), String> {
+    let mut df = DataflowOptimizer::new(c, q.clone());
+    let mut hand = IncrementalOptimizer::new(c, q.clone(), PruningConfig::none());
+    let mut pricer = CostContext::new(c, q);
+    df.optimize();
+    hand.optimize();
+    for (i, raw) in seq.iter().enumerate() {
+        let deltas = deltas_for(q, std::slice::from_ref(raw), false);
+        let got = df.reoptimize(&deltas);
+        let want = hand.reoptimize(&deltas);
+        pricer.apply(&deltas);
+        if !got.cost.approx_eq(want.cost) {
+            return Err(format!(
+                "step {i} ({deltas:?}): dataflow {:?} vs hand-rolled {:?}",
+                got.cost, want.cost
+            ));
+        }
+        let repriced = pricer.plan_cost(q, &got.plan);
+        if !repriced.approx_eq(got.cost) {
+            return Err(format!(
+                "step {i} ({deltas:?}): BestPlan re-prices to {repriced:?}, claimed {:?}",
+                got.cost
+            ));
+        }
+        let hand_repriced = pricer.plan_cost(q, &want.plan);
+        if !hand_repriced.approx_eq(got.cost) {
+            return Err(format!(
+                "step {i} ({deltas:?}): hand-rolled plan re-prices to {hand_repriced:?}, \
+                 dataflow claimed {:?}",
+                got.cost
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn all_configs() -> Vec<PruningConfig> {
@@ -192,6 +233,32 @@ proptest! {
                     "{} after {deltas:?}: dataflow {:?} vs hand-rolled {:?}",
                     cfg.label(), got.cost, want.cost);
             }
+        }
+    }
+
+    /// Interleaved cardinality / scan-cost / selectivity updates on
+    /// random join graphs, with `BestPlan` checked after *every* step
+    /// (not just the final state). On failure, the shortest failing
+    /// prefix of the sequence is located by replay and reported — the
+    /// stand-in proptest has no shrinking, so the test shrinks the one
+    /// dimension that matters for delta-sequence bugs itself.
+    #[test]
+    fn best_plans_stay_in_lockstep_after_every_step(
+        gen in query_gen(5),
+        seq in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..10),
+    ) {
+        let (c, q) = build(&gen);
+        if let Err(failure) = check_stepwise(&c, &q, &seq) {
+            for n in 1..=seq.len() {
+                if let Err(first) = check_stepwise(&c, &q, &seq[..n]) {
+                    prop_assert!(
+                        false,
+                        "shortest failing prefix has {n} of {} steps ({:?}): {first}",
+                        seq.len(), &seq[..n]
+                    );
+                }
+            }
+            prop_assert!(false, "full sequence failed, no prefix did: {failure}");
         }
     }
 }

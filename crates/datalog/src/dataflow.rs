@@ -13,17 +13,23 @@
 //! merged into one batch, and each batch is coalesced (same-tuple deltas
 //! summed, cancelled pairs dropped) immediately before processing — so a
 //! `+t`/`-t` pair produced by a cascade dies in the queue instead of
-//! amplifying through a join. Per-delta FIFO execution (the original
-//! semantics) remains available via [`SchedulerMode::PerDelta`] and is
-//! property-tested to be observationally identical.
+//! amplifying through a join. Dirty destinations are serviced in
+//! topological-rank order (SCCs share a rank), draining each layer
+//! before its consumers so stateful operators see whole waves at once,
+//! and single-consumer stateless chains are fused into one operator
+//! before the first run ([`Dataflow::fuse`]). Per-delta FIFO execution
+//! (the original semantics) remains available via
+//! [`SchedulerMode::PerDelta`] and is property-tested observationally
+//! identical across the whole mode matrix (`tests/differential.rs`).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use reopt_common::FxHashMap;
 
 use crate::delta::{coalesce, CoalesceScratch, Delta};
-use crate::ops::Operator;
+use crate::ops::{Fused, Operator};
 use crate::relation::Multiset;
 use crate::value::Tuple;
 
@@ -41,6 +47,9 @@ enum NodeKind {
     Op(Box<dyn Operator>),
     /// Materialization point; contents readable via [`Dataflow::sink`].
     Sink(usize),
+    /// An operator absorbed into a fused chain. Unreachable: its only
+    /// incoming edge was rewired through the chain's head.
+    Fused,
 }
 
 struct Node {
@@ -69,12 +78,18 @@ pub enum SchedulerMode {
 /// How many spent batch buffers the scheduler retains for reuse.
 const BATCH_POOL_CAP: usize = 32;
 
-/// The work queue: batched destination-merged entries, or strict
-/// per-delta FIFO.
+/// The work queue: batched destination-merged entries serviced in
+/// topological-rank order, or strict per-delta FIFO.
 enum Queue {
     Batched {
-        /// Dirty `(node, port)` destinations in arrival order.
-        order: VecDeque<(usize, usize)>,
+        /// Dirty `(rank, node, port)` destinations. Servicing the
+        /// lowest rank first drains each dataflow layer before its
+        /// consumers run, so downstream stateful operators (grouped
+        /// aggregates especially) see one big batch per wave instead of
+        /// several partial ones — fewer update pairs, less re-cascade.
+        /// Any service order reaches the same fixpoint; rank order just
+        /// reaches it with the least churn.
+        order: BinaryHeap<Reverse<(u32, usize, usize)>>,
         /// Accumulated deltas per dirty destination.
         pending: FxHashMap<(usize, usize), Vec<Delta>>,
         /// Spent batch buffers, recycled to avoid per-batch allocation.
@@ -87,7 +102,7 @@ impl Queue {
     fn new(mode: SchedulerMode) -> Queue {
         match mode {
             SchedulerMode::Batched => Queue::Batched {
-                order: VecDeque::new(),
+                order: BinaryHeap::new(),
                 pending: FxHashMap::default(),
                 pool: Vec::new(),
             },
@@ -95,7 +110,13 @@ impl Queue {
         }
     }
 
-    fn push(&mut self, node: usize, port: usize, deltas: impl Iterator<Item = Delta>) {
+    fn push(
+        &mut self,
+        rank: u32,
+        node: usize,
+        port: usize,
+        deltas: impl Iterator<Item = Delta>,
+    ) {
         match self {
             Queue::Batched {
                 order,
@@ -103,7 +124,7 @@ impl Queue {
                 pool,
             } => {
                 let batch = pending.entry((node, port)).or_insert_with(|| {
-                    order.push_back((node, port));
+                    order.push(Reverse((rank, node, port)));
                     pool.pop().unwrap_or_default()
                 });
                 batch.extend(deltas);
@@ -120,7 +141,7 @@ impl Queue {
     fn pop(&mut self) -> Option<(usize, usize, Vec<Delta>)> {
         match self {
             Queue::Batched { order, pending, .. } => {
-                let (node, port) = order.pop_front()?;
+                let Reverse((_, node, port)) = order.pop()?;
                 let batch = pending
                     .remove(&(node, port))
                     .expect("dirty destination without pending deltas");
@@ -149,6 +170,14 @@ impl Queue {
 }
 
 /// Execution statistics for one fixpoint run.
+///
+/// Lifecycle: every successful [`Dataflow::run`] reports exactly the
+/// work performed by that call — the scheduler tallies are locals and
+/// the per-operator counters ([`crate::ops::OpCounters`]) are drained
+/// into the result at the end of the run. If a run fails with
+/// [`FixpointOverrun`], counters already accumulated inside operators
+/// are discarded at the start of the *next* run, so an errored run can
+/// never inflate a later run's statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Individual deltas dequeued and processed (post-coalescing).
@@ -157,6 +186,15 @@ pub struct RunStats {
     pub batches_processed: u64,
     /// Deltas emitted by operators.
     pub deltas_emitted: u64,
+    /// Join-input deltas that needed the opposite index consulted.
+    pub join_probe_deltas: u64,
+    /// Index probes actually performed: ≤ `join_probe_deltas`, strictly
+    /// less whenever batch-aware probing shared a probe across
+    /// repeated keys.
+    pub join_probes: u64,
+    /// Operator hops that fused chains absorbed (per batch, the number
+    /// of constituent stages beyond the first).
+    pub fused_stages_saved: u64,
 }
 
 /// Error: the fixpoint did not converge within the step budget (a
@@ -183,6 +221,20 @@ pub struct Dataflow {
     /// Reused by batch coalescing across the whole run.
     scratch: CoalesceScratch,
     max_steps: u64,
+    /// Whether [`Dataflow::run`] auto-fuses stateless chains first
+    /// (batched mode only; per-delta mode keeps the reference schedule).
+    fusion: bool,
+    /// Set by graph mutations; cleared by the fusion pass.
+    graph_dirty: bool,
+    /// Topological service rank per node (lower = closer to the
+    /// sources; members of one strongly connected component share a
+    /// rank). Drives the batched queue's service order.
+    ranks: Vec<u32>,
+    /// Set by graph mutations; cleared by [`Dataflow::ensure_ranks`].
+    ranks_dirty: bool,
+    /// A prior run errored: its operators hold counters for work that
+    /// was already attributed to (and reported lost with) that run.
+    stale_counters: bool,
 }
 
 impl Default for Dataflow {
@@ -196,7 +248,9 @@ impl Dataflow {
         Dataflow::with_mode(SchedulerMode::Batched)
     }
 
-    /// Builds a dataflow with an explicit scheduler mode.
+    /// Builds a dataflow with an explicit scheduler mode. Operator-chain
+    /// fusion defaults to on in batched mode and is never applied in
+    /// per-delta mode.
     pub fn with_mode(mode: SchedulerMode) -> Dataflow {
         Dataflow {
             nodes: Vec::new(),
@@ -204,7 +258,19 @@ impl Dataflow {
             queue: Queue::new(mode),
             scratch: CoalesceScratch::default(),
             max_steps: 50_000_000,
+            fusion: mode == SchedulerMode::Batched,
+            graph_dirty: false,
+            ranks: Vec::new(),
+            ranks_dirty: false,
+            stale_counters: false,
         }
+    }
+
+    /// Enables or disables automatic operator-chain fusion (effective in
+    /// batched mode only). Call before the first [`Dataflow::run`]; an
+    /// already-fused graph is not unfused.
+    pub fn set_fusion(&mut self, on: bool) {
+        self.fusion = on;
     }
 
     /// Overrides the non-termination guard.
@@ -246,6 +312,16 @@ impl Dataflow {
     /// Wires `from`'s output into `to`'s input `port`. Cycles are
     /// allowed.
     pub fn connect(&mut self, from: NodeId, to: NodeId, port: usize) {
+        for id in [from, to] {
+            assert!(
+                !matches!(self.nodes[id.0].kind, NodeKind::Fused),
+                "node `{}` was absorbed into a fused chain; wire the graph before \
+                 running, or disable fusion with `set_fusion(false)`",
+                self.nodes[id.0].label
+            );
+        }
+        self.graph_dirty = true;
+        self.ranks_dirty = true;
         self.nodes[from.0].downstream.push((to.0, port));
     }
 
@@ -259,6 +335,8 @@ impl Dataflow {
     }
 
     fn push_node(&mut self, kind: NodeKind, coalesce_input: bool, label: &str) -> NodeId {
+        self.graph_dirty = true;
+        self.ranks_dirty = true;
         self.nodes.push(Node {
             kind,
             downstream: Vec::new(),
@@ -276,7 +354,77 @@ impl Dataflow {
             "push target `{}` is not an input",
             self.nodes[input.0].label
         );
-        self.queue.push(input.0, 0, std::iter::once(delta));
+        self.ensure_ranks();
+        let rank = self.ranks[input.0];
+        self.queue.push(rank, input.0, 0, std::iter::once(delta));
+    }
+
+    /// Recomputes topological service ranks if the graph changed:
+    /// Tarjan's algorithm (iterative) finds strongly connected
+    /// components in reverse topological order of the condensation;
+    /// every node of one component shares its rank.
+    fn ensure_ranks(&mut self) {
+        if !self.ranks_dirty && self.ranks.len() == self.nodes.len() {
+            return;
+        }
+        self.ranks_dirty = false;
+        let n = self.nodes.len();
+        const UNDISCOVERED: u32 = u32::MAX;
+        let mut index = vec![UNDISCOVERED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut scc_of = vec![0u32; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut call: Vec<(usize, usize)> = Vec::new();
+        let mut next_index = 0u32;
+        let mut scc_count = 0u32;
+        for start in 0..n {
+            if index[start] != UNDISCOVERED {
+                continue;
+            }
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            call.push((start, 0));
+            while let Some((v, ei)) = call.last_mut() {
+                let v = *v;
+                if *ei < self.nodes[v].downstream.len() {
+                    let (w, _) = self.nodes[v].downstream[*ei];
+                    *ei += 1;
+                    if index[w] == UNDISCOVERED {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(u, _)) = call.last() {
+                        low[u] = low[u].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("SCC stack underflow");
+                            on_stack[w] = false;
+                            scc_of[w] = scc_count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc_count += 1;
+                    }
+                }
+            }
+        }
+        // Components were emitted consumers-first; invert so sources
+        // get the lowest rank.
+        self.ranks = scc_of.iter().map(|&s| scc_count - 1 - s).collect();
     }
 
     pub fn insert(&mut self, input: NodeId, tuple: Tuple) {
@@ -287,12 +435,119 @@ impl Dataflow {
         self.push(input, Delta::delete(tuple));
     }
 
+    /// Fuses single-consumer chains of stateless linear operators
+    /// (`Map`, `ExternalFn`, prior `Fused` nodes) into one [`Fused`]
+    /// node each, eliminating the per-hop dispatch between them.
+    /// Returns the number of operator nodes absorbed. Idempotent;
+    /// called automatically by [`Dataflow::run`] in batched mode unless
+    /// disabled via [`Dataflow::set_fusion`].
+    ///
+    /// A node is chain *interior* if it is fusable, single-input, and
+    /// has exactly one incoming edge (on port 0); a chain extends while
+    /// each member's sole downstream edge leads to another interior
+    /// node. Absorbed nodes become [`NodeKind::Fused`] tombstones —
+    /// their ids stay allocated but they can no longer be wired.
+    pub fn fuse(&mut self) -> usize {
+        self.graph_dirty = false;
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut port_ok = vec![true; n];
+        for node in &self.nodes {
+            for &(t, p) in &node.downstream {
+                indeg[t] += 1;
+                if p != 0 {
+                    port_ok[t] = false;
+                }
+            }
+        }
+        let interior = |nodes: &[Node], i: usize| -> bool {
+            indeg[i] == 1
+                && port_ok[i]
+                && matches!(&nodes[i].kind, NodeKind::Op(op) if op.fusable() && op.arity() == 1)
+        };
+        // succ[i]: the interior node i's sole consumer, when that
+        // consumer is itself interior (a chain edge).
+        let mut succ = vec![usize::MAX; n];
+        let mut has_chain_pred = vec![false; n];
+        #[allow(clippy::needless_range_loop)] // indexes four arrays
+        for i in 0..n {
+            if !interior(&self.nodes, i) {
+                continue;
+            }
+            if let [(t, _)] = self.nodes[i].downstream[..] {
+                if t != i && interior(&self.nodes, t) {
+                    succ[i] = t;
+                    has_chain_pred[t] = true;
+                }
+            }
+        }
+        let mut absorbed = 0;
+        #[allow(clippy::needless_range_loop)] // indexes disjoint arrays
+        for head in 0..n {
+            if !interior(&self.nodes, head) || has_chain_pred[head] {
+                continue;
+            }
+            let mut chain = vec![head];
+            let mut cur = head;
+            while succ[cur] != usize::MAX && !chain.contains(&succ[cur]) {
+                cur = succ[cur];
+                chain.push(cur);
+            }
+            if chain.len() < 2 {
+                continue;
+            }
+            let mut stages = Vec::new();
+            for &i in &chain {
+                match &mut self.nodes[i].kind {
+                    NodeKind::Op(op) => stages.extend(
+                        op.take_fuse_stages().expect("interior nodes are fusable"),
+                    ),
+                    _ => unreachable!("interior nodes are operators"),
+                }
+            }
+            let last = *chain.last().unwrap();
+            let fused = Fused::new(stages);
+            self.nodes[head].label = fused.name().to_string();
+            self.nodes[head].kind = NodeKind::Op(Box::new(fused));
+            self.nodes[head].downstream = std::mem::take(&mut self.nodes[last].downstream);
+            for &i in &chain[1..] {
+                self.nodes[i].kind = NodeKind::Fused;
+                self.nodes[i].downstream.clear();
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+
+    /// Number of operator nodes absorbed into fused chains so far.
+    pub fn fused_node_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Fused))
+            .count()
+    }
+
     /// Runs to fixpoint (empty queue).
     pub fn run(&mut self) -> Result<RunStats, FixpointOverrun> {
+        let batched = self.queue.is_batched();
+        if batched && self.fusion && self.graph_dirty {
+            self.fuse();
+        }
+        self.ensure_ranks();
+        if self.stale_counters {
+            // A prior run errored: its operators' counters describe work
+            // attributed to that failed call; drop them so this run's
+            // stats cover only this run.
+            self.stale_counters = false;
+            for node in &mut self.nodes {
+                if let NodeKind::Op(op) = &mut node.kind {
+                    op.take_counters();
+                }
+            }
+        }
         let mut stats = RunStats::default();
         let mut out: Vec<Delta> = Vec::new();
         let mut chain: Vec<Delta> = Vec::new();
-        let batched = self.queue.is_batched();
         while let Some((node, port, mut batch)) = self.queue.pop() {
             if batched && self.nodes[node].coalesce_input {
                 coalesce(&mut batch, &mut self.scratch);
@@ -304,6 +559,11 @@ impl Dataflow {
             stats.batches_processed += 1;
             stats.deltas_processed += batch.len() as u64;
             if stats.deltas_processed > self.max_steps {
+                // Put the undelivered batch back so raising the budget
+                // and re-running loses nothing.
+                let rank = self.ranks.get(node).copied().unwrap_or(0);
+                self.queue.push(rank, node, port, batch.drain(..));
+                self.stale_counters = true;
                 return Err(FixpointOverrun {
                     steps: self.max_steps,
                 });
@@ -326,9 +586,26 @@ impl Dataflow {
                     self.queue.recycle(batch);
                     continue;
                 }
+                // Tombstones are unreachable (their sole incoming edge
+                // was rewired through the chain head); tolerate anyway.
+                NodeKind::Fused => {
+                    self.queue.recycle(batch);
+                    continue;
+                }
             }
             self.queue.recycle(batch);
-            self.dispatch(node, &mut out, &mut chain, &mut stats)?;
+            if let Err(e) = self.dispatch(node, &mut out, &mut chain, &mut stats) {
+                self.stale_counters = true;
+                return Err(e);
+            }
+        }
+        for node in &mut self.nodes {
+            if let NodeKind::Op(op) = &mut node.kind {
+                let c = op.take_counters();
+                stats.join_probe_deltas += c.join_probe_deltas;
+                stats.join_probes += c.join_probes;
+                stats.fused_stages_saved += c.fused_stages_saved;
+            }
         }
         Ok(stats)
     }
@@ -376,6 +653,10 @@ impl Dataflow {
                         stats.batches_processed += 1;
                         stats.deltas_processed += out.len() as u64;
                         if stats.deltas_processed > self.max_steps {
+                            // Park the in-flight deltas at the chained
+                            // consumer instead of dropping them.
+                            let rank = self.ranks.get(target).copied().unwrap_or(0);
+                            self.queue.push(rank, target, tport, out.drain(..));
                             self.nodes[node].downstream = downstream;
                             return Err(FixpointOverrun {
                                 steps: self.max_steps,
@@ -401,10 +682,11 @@ impl Dataflow {
                 if matches!(self.nodes[target].kind, NodeKind::Sink(_)) {
                     continue;
                 }
+                let rank = self.ranks.get(target).copied().unwrap_or(0);
                 if Some(i) == last_queued {
-                    self.queue.push(target, tport, out.drain(..));
+                    self.queue.push(rank, target, tport, out.drain(..));
                 } else {
-                    self.queue.push(target, tport, out.iter().cloned());
+                    self.queue.push(rank, target, tport, out.iter().cloned());
                 }
             }
             self.nodes[node].downstream = downstream;
@@ -629,6 +911,141 @@ mod tests {
         df.set_max_steps(10_000);
         df.insert(input, ints(&[1]));
         assert!(df.run().is_err());
+    }
+
+    /// A join+distinct network for the stats-lifecycle tests.
+    fn join_net() -> (Dataflow, NodeId, NodeId, SinkId) {
+        let mut df = Dataflow::new();
+        let l = df.add_input("l");
+        let r = df.add_input("r");
+        let j = df.add_op(HashJoin::new(vec![0], vec![0]), &[l, r]);
+        let d = df.add_op(Distinct::new(), &[j]);
+        let sink = df.add_sink(d);
+        (df, l, r, sink)
+    }
+
+    #[test]
+    fn run_stats_cover_exactly_one_successful_run() {
+        let (mut df, l, r, _sink) = join_net();
+        df.insert(r, ints(&[1, 20]));
+        df.insert(l, ints(&[1, 10]));
+        let stats = df.run().unwrap();
+        assert!(stats.join_probe_deltas >= 2);
+        assert!(stats.join_probes >= 1);
+        // An empty follow-up run reports no counters: nothing leaked
+        // out of the operators from the previous run.
+        assert_eq!(df.run().unwrap(), RunStats::default());
+    }
+
+    #[test]
+    fn errored_run_counters_do_not_leak_into_the_next_run() {
+        let (mut df, l, r, sink) = join_net();
+        df.insert(r, ints(&[1, 20]));
+        df.run().unwrap();
+        // Budget admits the input and the join (which probes and
+        // emits), but errors before the distinct services its batch:
+        // the join now holds counters for a failed run.
+        df.set_max_steps(2);
+        df.insert(l, ints(&[1, 10]));
+        assert!(df.run().is_err());
+        // Recover and do strictly smaller join work (a keyless tuple).
+        df.set_max_steps(1_000_000);
+        df.insert(l, ints(&[2, 30]));
+        let stats = df.run().unwrap();
+        assert_eq!(
+            stats.join_probe_deltas, 1,
+            "stale counters from the errored run leaked: {stats:?}"
+        );
+        assert_eq!(stats.join_probes, 1);
+        // The errored run's surviving queue work still lands.
+        assert_eq!(df.sink(sink).sorted(), vec![ints(&[1, 10, 1, 20])]);
+    }
+
+    #[test]
+    fn batch_probing_shares_index_lookups_across_repeated_keys() {
+        let (mut df, l, r, _sink) = join_net();
+        df.insert(r, ints(&[1, 20]));
+        df.run().unwrap();
+        // Eight left deltas, one key: queued as one batch, one probe.
+        for v in 0..8 {
+            df.insert(l, ints(&[1, v]));
+        }
+        let stats = df.run().unwrap();
+        assert_eq!(stats.join_probe_deltas, 8);
+        assert_eq!(stats.join_probes, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn fusion_collapses_stateless_chains() {
+        let build = |fusion: bool| {
+            let mut df = Dataflow::new();
+            df.set_fusion(fusion);
+            let input = df.add_input("r");
+            let a = df.add_op(Map::new(|t| Some(t.with_appended(crate::value::Val::Int(1)))), &[input]);
+            let b = df.add_op(Map::filter(|t| t.get(0).as_int() > 0), &[a]);
+            let c = df.add_op(Map::project(vec![0]), &[b]);
+            let sink = df.add_sink(c);
+            (df, input, sink)
+        };
+        let (mut fused, f_in, f_sink) = build(true);
+        let (mut plain, p_in, p_sink) = build(false);
+        for df in [&mut fused, &mut plain] {
+            df.run().unwrap(); // triggers the (auto) fusion pass
+        }
+        assert_eq!(fused.fused_node_count(), 2);
+        assert_eq!(plain.fused_node_count(), 0);
+        for (df, input) in [(&mut fused, f_in), (&mut plain, p_in)] {
+            for v in [-3i64, 2, 5] {
+                df.insert(input, ints(&[v]));
+            }
+        }
+        let f_stats = fused.run().unwrap();
+        plain.run().unwrap();
+        assert_eq!(fused.sink(f_sink).sorted(), plain.sink(p_sink).sorted());
+        assert!(f_stats.fused_stages_saved >= 2, "{f_stats:?}");
+    }
+
+    #[test]
+    fn per_delta_mode_never_fuses() {
+        let mut df = Dataflow::with_mode(SchedulerMode::PerDelta);
+        let input = df.add_input("r");
+        let a = df.add_op(Map::project(vec![0]), &[input]);
+        let b = df.add_op(Map::project(vec![0]), &[a]);
+        let sink = df.add_sink(b);
+        df.insert(input, ints(&[7]));
+        let stats = df.run().unwrap();
+        assert_eq!(df.fused_node_count(), 0);
+        assert_eq!(stats.fused_stages_saved, 0);
+        assert_eq!(df.sink(sink).sorted(), vec![ints(&[7])]);
+    }
+
+    #[test]
+    fn wiring_through_a_fused_node_panics() {
+        let mut df = Dataflow::new();
+        let input = df.add_input("r");
+        let a = df.add_op(Map::project(vec![0]), &[input]);
+        let b = df.add_op(Map::project(vec![0]), &[a]);
+        df.add_sink(b);
+        assert_eq!(df.fuse(), 1); // `b` absorbed into `a`
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let c = df.add_op_unwired(Map::project(vec![0]));
+            df.connect(b, c, 0);
+        }));
+        assert!(result.is_err(), "connecting a fused-away node must panic");
+    }
+
+    #[test]
+    fn explicit_fuse_is_idempotent() {
+        let mut df = Dataflow::new();
+        let input = df.add_input("r");
+        let a = df.add_op(Map::project(vec![0]), &[input]);
+        let b = df.add_op(Map::project(vec![0]), &[a]);
+        let sink = df.add_sink(b);
+        assert_eq!(df.fuse(), 1);
+        assert_eq!(df.fuse(), 0);
+        df.insert(input, ints(&[3]));
+        df.run().unwrap();
+        assert_eq!(df.sink(sink).sorted(), vec![ints(&[3])]);
     }
 
     #[test]

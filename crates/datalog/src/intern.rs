@@ -15,7 +15,7 @@
 //! network is a small closed set (operator names, relation tags), so the
 //! table only ever holds a few dozen entries.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use reopt_common::FxHashMap;
 
@@ -30,34 +30,47 @@ struct Interner {
     strings: Vec<Arc<str>>,
 }
 
-fn interner() -> &'static Mutex<Interner> {
+fn interner() -> MutexGuard<'static, Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            by_str: FxHashMap::default(),
-            strings: Vec::new(),
+    INTERNER
+        .get_or_init(|| {
+            Mutex::new(Interner {
+                by_str: FxHashMap::default(),
+                strings: Vec::new(),
+            })
         })
-    })
+        .lock()
+        // The table is append-only and never observably inconsistent,
+        // so a panic under the lock (e.g. resolving a fabricated id)
+        // must not poison interning for the rest of the process.
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Sym {
     /// Interns `s`, returning its symbol (idempotent).
     pub fn intern(s: &str) -> Sym {
-        let mut t = interner().lock().unwrap();
+        let mut t = interner();
         if let Some(&id) = t.by_str.get(s) {
             return Sym(id);
         }
-        let id = t.strings.len() as u32;
+        // Ids are packed into 32-bit words inside tuples; guard the
+        // cast so an id can never silently wrap near `u32::MAX`.
+        let id = u32::try_from(t.strings.len())
+            .expect("interner overflow: more than u32::MAX distinct strings");
         let arc: Arc<str> = Arc::from(s);
         t.strings.push(arc.clone());
         t.by_str.insert(arc, id);
         Sym(id)
     }
 
-    /// The interned string.
+    /// The interned string. Panics on an id that was never produced by
+    /// [`Sym::intern`] (a fabricated index must not alias a symbol).
     pub fn resolve(self) -> Arc<str> {
-        let t = interner().lock().unwrap();
-        t.strings[self.0 as usize].clone()
+        let t = interner();
+        t.strings
+            .get(self.0 as usize)
+            .unwrap_or_else(|| panic!("symbol id {} was never interned", self.0))
+            .clone()
     }
 
     /// The raw table index (the word stored in packed tuples).
@@ -87,7 +100,7 @@ impl Ord for Sym {
         if self.0 == other.0 {
             return std::cmp::Ordering::Equal;
         }
-        let t = interner().lock().unwrap();
+        let t = interner();
         t.strings[self.0 as usize].cmp(&t.strings[other.0 as usize])
     }
 }

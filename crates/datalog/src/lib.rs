@@ -44,6 +44,8 @@ pub use agg::{AggKind, OrderedMultiset};
 pub use dataflow::{Dataflow, NodeId, RunStats, SchedulerMode, SinkId};
 pub use delta::{coalesce, CoalesceScratch, Delta};
 pub use intern::Sym;
-pub use ops::{Distinct, ExternalFn, GroupAgg, HashJoin, Map, Operator, Union};
+pub use ops::{
+    Distinct, ExternalFn, FuseStage, Fused, GroupAgg, HashJoin, Map, OpCounters, Operator, Union,
+};
 pub use relation::{IndexedMultiset, Multiset};
 pub use value::{Tuple, Val};

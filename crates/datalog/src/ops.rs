@@ -4,9 +4,13 @@
 //! internal computations, (3) construct output deltas.
 //!
 //! Batches are the unit of scheduling (one queue entry, one dynamic
-//! dispatch, one state borrow per batch rather than per delta); within a
-//! batch the deltas are processed in order, so every operator remains
-//! observationally identical to per-delta execution.
+//! dispatch, one state borrow per batch rather than per delta). State
+//! updates apply every delta of the batch; emission order within a
+//! batch may be grouped (the join probes per distinct key) rather than
+//! delta order — invisible at the fixpoint, where sinks and downstream
+//! state are multisets. Every operator remains observationally
+//! identical to per-delta execution, pinned by the differential suite
+//! in `tests/differential.rs`.
 
 use reopt_common::FxHashMap;
 
@@ -14,6 +18,35 @@ use crate::agg::{AggKind, OrderedMultiset};
 use crate::delta::Delta;
 use crate::relation::{IndexedMultiset, Multiset, Visibility};
 use crate::value::Tuple;
+
+/// Per-operator work counters, drained by the scheduler into
+/// [`crate::dataflow::RunStats`] at the end of each fixpoint run.
+/// Operators accumulate into their own instance during `on_batch`;
+/// [`Operator::take_counters`] hands the accumulated values over and
+/// resets them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Deltas that required consulting a join index (join inputs with a
+    /// non-zero count).
+    pub join_probe_deltas: u64,
+    /// Index probes actually performed. Batch-aware probing shares one
+    /// probe across same-key deltas, so this is ≤ `join_probe_deltas` —
+    /// strictly less whenever a batch repeats a key.
+    pub join_probes: u64,
+    /// Operator hops eliminated by fused chains: for each batch a
+    /// [`Fused`] operator processes, the number of constituent stages
+    /// beyond the first (each would have been its own dispatch).
+    pub fused_stages_saved: u64,
+}
+
+impl OpCounters {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: OpCounters) {
+        self.join_probe_deltas += other.join_probe_deltas;
+        self.join_probes += other.join_probes;
+        self.fused_stages_saved += other.fused_stages_saved;
+    }
+}
 
 /// A dataflow operator.
 pub trait Operator {
@@ -45,6 +78,30 @@ pub trait Operator {
     /// input anyway, so hashing their inputs would be pure overhead.
     fn coalesces_input(&self) -> bool {
         true
+    }
+
+    /// True if the operator is a linear stateless single-input stage
+    /// that can be folded into a [`Fused`] chain. An operator returning
+    /// `true` must also yield its stages from
+    /// [`Operator::take_fuse_stages`].
+    fn fusable(&self) -> bool {
+        false
+    }
+
+    /// Surrenders the operator's stages for chain fusion, leaving it
+    /// inert. Only called on operators whose [`Operator::fusable`] is
+    /// `true`, and only by the dataflow's fusion pass (the node is
+    /// replaced or tombstoned immediately afterwards).
+    fn take_fuse_stages(&mut self) -> Option<Vec<FuseStage>> {
+        None
+    }
+
+    /// Drains the operator's accumulated work counters (see
+    /// [`OpCounters`]). Called by the scheduler when it assembles a
+    /// run's statistics; the default for counter-less operators reports
+    /// nothing.
+    fn take_counters(&mut self) -> OpCounters {
+        OpCounters::default()
     }
 
     fn name(&self) -> &str;
@@ -89,6 +146,15 @@ impl Operator for Map {
 
     fn coalesces_input(&self) -> bool {
         false
+    }
+
+    fn fusable(&self) -> bool {
+        true
+    }
+
+    fn take_fuse_stages(&mut self) -> Option<Vec<FuseStage>> {
+        let f = std::mem::replace(&mut self.f, Box::new(|_| None));
+        Some(vec![FuseStage::Map(f)])
     }
 
     fn name(&self) -> &str {
@@ -145,8 +211,125 @@ impl Operator for ExternalFn {
         false
     }
 
+    fn fusable(&self) -> bool {
+        true
+    }
+
+    fn take_fuse_stages(&mut self) -> Option<Vec<FuseStage>> {
+        let f = std::mem::replace(&mut self.f, Box::new(|_, _| {}));
+        Some(vec![FuseStage::External {
+            name: std::mem::take(&mut self.name),
+            f,
+        }])
+    }
+
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// One constituent stage of a [`Fused`] chain: a linear stateless
+/// transformation extracted from a [`Map`] or [`ExternalFn`] node.
+pub enum FuseStage {
+    /// One-to-at-most-one: the payload of a [`Map`].
+    Map(MapFn),
+    /// One-to-many: the payload of an [`ExternalFn`].
+    External { name: String, f: ExternalFnBody },
+}
+
+impl FuseStage {
+    fn label(&self) -> &str {
+        match self {
+            FuseStage::Map(_) => "map",
+            FuseStage::External { name, .. } => name,
+        }
+    }
+}
+
+/// A chain of linear stateless stages composed into one operator: each
+/// input delta flows through every stage in a single `on_batch` call,
+/// with no intermediate delta buffers and no per-stage scheduler
+/// dispatch. Built by the dataflow's fusion pass
+/// ([`crate::dataflow::Dataflow::fuse`]) from single-consumer chains of
+/// `Map`/`ExternalFn` nodes; behaviourally identical to running the
+/// stages as separate nodes (each stage is linear, so composition
+/// commutes with delta propagation).
+pub struct Fused {
+    stages: Vec<FuseStage>,
+    label: String,
+    counters: OpCounters,
+}
+
+impl Fused {
+    pub fn new(stages: Vec<FuseStage>) -> Fused {
+        assert!(stages.len() >= 2, "a fused chain needs at least 2 stages");
+        let label = format!(
+            "fused({})",
+            stages.iter().map(FuseStage::label).collect::<Vec<_>>().join("∘")
+        );
+        Fused {
+            stages,
+            label,
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// Number of composed stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Runs `tuple` (with multiplicity `count`) through the remaining
+    /// stages, pushing fully transformed deltas into `out`.
+    fn run_stages(stages: &mut [FuseStage], tuple: Tuple, count: i64, out: &mut Vec<Delta>) {
+        match stages.split_first_mut() {
+            None => out.push(Delta::with_count(tuple, count)),
+            Some((FuseStage::Map(f), rest)) => {
+                if let Some(t) = f(&tuple) {
+                    Self::run_stages(rest, t, count, out);
+                }
+            }
+            Some((FuseStage::External { f, .. }, rest)) => {
+                f(&tuple, &mut |t| Self::run_stages(rest, t, count, out));
+            }
+        }
+    }
+}
+
+impl Operator for Fused {
+    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+        // A drained chain (`take_fuse_stages`) must not masquerade as
+        // an identity operator.
+        assert!(!self.stages.is_empty(), "fused chain `{}` was drained", self.label);
+        for delta in deltas {
+            if delta.count == 0 {
+                continue;
+            }
+            Self::run_stages(&mut self.stages, delta.tuple.clone(), delta.count, out);
+        }
+        // Every batch through the chain is (stages − 1) dispatches that
+        // no longer happen.
+        self.counters.fused_stages_saved += self.stages.len() as u64 - 1;
+    }
+
+    fn coalesces_input(&self) -> bool {
+        false
+    }
+
+    fn fusable(&self) -> bool {
+        true
+    }
+
+    fn take_fuse_stages(&mut self) -> Option<Vec<FuseStage>> {
+        Some(std::mem::take(&mut self.stages))
+    }
+
+    fn take_counters(&mut self) -> OpCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
     }
 }
 
@@ -157,10 +340,27 @@ impl Operator for ExternalFn {
 ///
 /// A whole batch arrives on one port, so the opposite side's state is
 /// constant across the batch and `ΔL ⋈ R` distributes over the batch's
-/// deltas — applying and probing per delta is exact.
+/// deltas — the batch can be applied up front and probed in any order.
+/// The batch path exploits that: each delta's key columns are hashed
+/// exactly once (shared between the index update and the probe), the
+/// batch is grouped by key hash so repeated keys consult the index once
+/// and share one output-buffer reservation, and update pairs (`-old`
+/// `+new` on the same key, the dominant shape in view maintenance) pay
+/// for a single probe. Output order within a batch is grouped by key
+/// rather than delta order — invisible at the fixpoint, where sinks and
+/// downstream state are multisets.
 pub struct HashJoin {
     left: IndexedMultiset,
     right: IndexedMultiset,
+    /// Fused output projection: columns of the virtual `left ++ right`
+    /// concatenation. `None` emits the full concatenation.
+    proj: Option<Vec<usize>>,
+    /// Batch scratch: `(key hash, delta index)`, sorted to group
+    /// repeated keys.
+    by_key: Vec<(u64, u32)>,
+    /// Batch scratch: the current group's matches on the other side.
+    hits: Vec<(Tuple, i64)>,
+    counters: OpCounters,
 }
 
 impl HashJoin {
@@ -173,7 +373,25 @@ impl HashJoin {
         HashJoin {
             left: IndexedMultiset::new(left_key),
             right: IndexedMultiset::new(right_key),
+            proj: None,
+            by_key: Vec::new(),
+            hits: Vec::new(),
+            counters: OpCounters::default(),
         }
+    }
+
+    /// A join that projects its output in place: emits
+    /// `(left ++ right)[proj]`, built directly from the two sides —
+    /// the ubiquitous join-then-project pair fused into one operator
+    /// and one tuple construction.
+    pub fn with_projection(
+        left_key: Vec<usize>,
+        right_key: Vec<usize>,
+        proj: Vec<usize>,
+    ) -> HashJoin {
+        let mut j = HashJoin::new(left_key, right_key);
+        j.proj = Some(proj);
+        j
     }
 
     pub fn state_size(&self) -> usize {
@@ -181,43 +399,174 @@ impl HashJoin {
     }
 }
 
+/// `(left ++ right)[proj]` with the delta side chosen by
+/// `delta_is_left`.
+#[inline]
+fn join_output(
+    delta: &Tuple,
+    matched: &Tuple,
+    delta_is_left: bool,
+    proj: &Option<Vec<usize>>,
+) -> Tuple {
+    let (l, r) = if delta_is_left {
+        (delta, matched)
+    } else {
+        (matched, delta)
+    };
+    match proj {
+        Some(cols) => l.project_concat(r, cols),
+        None => l.concat(r),
+    }
+}
+
+/// The batch-aware probe for one port: applies all deltas to `own`
+/// (hashing each key once), then probes `other` once per distinct key.
+#[allow(clippy::too_many_arguments)]
+fn probe_batch(
+    own: &mut IndexedMultiset,
+    other: &IndexedMultiset,
+    deltas: &[Delta],
+    out: &mut Vec<Delta>,
+    by_key: &mut Vec<(u64, u32)>,
+    hits: &mut Vec<(Tuple, i64)>,
+    counters: &mut OpCounters,
+    delta_is_left: bool,
+    proj: &Option<Vec<usize>>,
+) {
+    // Single-delta batches (all of per-delta mode, and most incremental
+    // trickles) skip the grouping machinery but still hash only once.
+    if let [delta] = deltas {
+        if delta.count == 0 {
+            return;
+        }
+        let h = own.key_hash(&delta.tuple);
+        own.apply_hashed(delta, h);
+        counters.join_probe_deltas += 1;
+        counters.join_probes += 1;
+        for (t, c) in other.matches_hashed(h, &delta.tuple, own.key_cols()) {
+            let count = delta.count * c;
+            if count != 0 {
+                out.push(Delta::with_count(join_output(&delta.tuple, t, delta_is_left, proj), count));
+            }
+        }
+        return;
+    }
+    by_key.clear();
+    for (i, delta) in deltas.iter().enumerate() {
+        if delta.count == 0 {
+            continue;
+        }
+        by_key.push((own.key_hash(&delta.tuple), i as u32));
+    }
+    counters.join_probe_deltas += by_key.len() as u64;
+    // Sort by (hash, arrival): repeated keys become contiguous runs and
+    // the iteration order stays deterministic.
+    by_key.sort_unstable();
+    let mut g = 0;
+    while g < by_key.len() {
+        let (h, first) = by_key[g];
+        let mut end = g + 1;
+        while end < by_key.len() && by_key[end].0 == h {
+            end += 1;
+        }
+        // One state-bucket update and one probe for the whole run.
+        // (Own-side application order across runs is immaterial: probes
+        // only consult the other side.)
+        own.apply_run_hashed(h, by_key[g..end].iter().map(|&(_, i)| &deltas[i as usize]));
+        let rep = &deltas[first as usize].tuple;
+        counters.join_probes += 1;
+        if end - g == 1 {
+            // Unrepeated key (the common case on ingest-heavy
+            // workloads): emit straight off the probe iterator, no
+            // match buffering.
+            let delta = &deltas[first as usize];
+            for (t, c) in other.matches_hashed(h, rep, own.key_cols()) {
+                let count = delta.count * c;
+                if count != 0 {
+                    out.push(Delta::with_count(
+                        join_output(&delta.tuple, t, delta_is_left, proj),
+                        count,
+                    ));
+                }
+            }
+            g = end;
+            continue;
+        }
+        hits.clear();
+        hits.extend(
+            other
+                .matches_hashed(h, rep, own.key_cols())
+                .map(|(t, c)| (t.clone(), c)),
+        );
+        if !hits.is_empty() {
+            out.reserve(hits.len() * (end - g));
+        }
+        for &(_, di) in &by_key[g..end] {
+            let delta = &deltas[di as usize];
+            // A same-hash delta with a *different* key (hash collision)
+            // cannot reuse the run's matches; probe it individually.
+            if di != first && !delta.tuple.cols_eq(own.key_cols(), rep, own.key_cols()) {
+                counters.join_probes += 1;
+                for (t, c) in other.matches_hashed(h, &delta.tuple, own.key_cols()) {
+                    let count = delta.count * c;
+                    if count != 0 {
+                        out.push(Delta::with_count(
+                            join_output(&delta.tuple, t, delta_is_left, proj),
+                            count,
+                        ));
+                    }
+                }
+                continue;
+            }
+            for (t, c) in hits.iter() {
+                let count = delta.count * c;
+                if count != 0 {
+                    out.push(Delta::with_count(
+                        join_output(&delta.tuple, t, delta_is_left, proj),
+                        count,
+                    ));
+                }
+            }
+        }
+        g = end;
+    }
+}
+
 impl Operator for HashJoin {
     fn on_batch(&mut self, port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
         match port {
-            0 => {
-                for delta in deltas {
-                    if delta.count == 0 {
-                        continue;
-                    }
-                    self.left.apply(delta);
-                    for (rt, rc) in self.right.matches(&delta.tuple, self.left.key_cols()) {
-                        let count = delta.count * rc;
-                        if count != 0 {
-                            out.push(Delta::with_count(delta.tuple.concat(rt), count));
-                        }
-                    }
-                }
-            }
-            1 => {
-                for delta in deltas {
-                    if delta.count == 0 {
-                        continue;
-                    }
-                    self.right.apply(delta);
-                    for (lt, lc) in self.left.matches(&delta.tuple, self.right.key_cols()) {
-                        let count = delta.count * lc;
-                        if count != 0 {
-                            out.push(Delta::with_count(lt.concat(&delta.tuple), count));
-                        }
-                    }
-                }
-            }
+            0 => probe_batch(
+                &mut self.left,
+                &self.right,
+                deltas,
+                out,
+                &mut self.by_key,
+                &mut self.hits,
+                &mut self.counters,
+                true,
+                &self.proj,
+            ),
+            1 => probe_batch(
+                &mut self.right,
+                &self.left,
+                deltas,
+                out,
+                &mut self.by_key,
+                &mut self.hits,
+                &mut self.counters,
+                false,
+                &self.proj,
+            ),
             p => panic!("join has 2 ports, got {p}"),
         }
     }
 
     fn arity(&self) -> usize {
         2
+    }
+
+    fn take_counters(&mut self) -> OpCounters {
+        std::mem::take(&mut self.counters)
     }
 
     fn name(&self) -> &str {
@@ -238,11 +587,21 @@ pub struct GroupAgg {
     key_cols: Vec<usize>,
     value_col: usize,
     kind: AggKind,
-    groups: FxHashMap<Tuple, OrderedMultiset>,
+    groups: FxHashMap<Tuple, Group>,
     /// Scratch: keys touched by the current batch, in first-touch order.
     touched: Vec<Tuple>,
-    /// Scratch: pre-batch aggregate per touched key.
-    old_aggs: FxHashMap<Tuple, Option<crate::value::Val>>,
+    /// Batch generation, stamped into each touched group — the
+    /// first-touch test is a field compare instead of a second map.
+    generation: u64,
+}
+
+/// One group's state plus its per-batch bookkeeping (the aggregate
+/// value before the current batch, valid while `stamp` matches the
+/// operator's generation).
+struct Group {
+    state: OrderedMultiset,
+    stamp: u64,
+    before: Option<crate::value::Val>,
 }
 
 impl GroupAgg {
@@ -253,37 +612,43 @@ impl GroupAgg {
             kind,
             groups: FxHashMap::default(),
             touched: Vec::new(),
-            old_aggs: FxHashMap::default(),
+            generation: 0,
         }
     }
 
     /// Read access to a group's ordered state (used by tests asserting
     /// next-best retention).
     pub fn group_state(&self, key: &Tuple) -> Option<&OrderedMultiset> {
-        self.groups.get(key)
+        self.groups.get(key).map(|g| &g.state)
     }
 }
 
 impl Operator for GroupAgg {
     fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
         self.touched.clear();
-        self.old_aggs.clear();
+        self.generation += 1;
         for delta in deltas {
             if delta.count == 0 {
                 continue;
             }
             let key = delta.tuple.project(&self.key_cols);
             let value = delta.tuple.get(self.value_col);
-            let group = self.groups.entry(key.clone()).or_default();
-            if !self.old_aggs.contains_key(&key) {
-                self.old_aggs.insert(key.clone(), group.aggregate(self.kind));
+            let group = self.groups.entry(key.clone()).or_insert_with(|| Group {
+                state: OrderedMultiset::new(),
+                stamp: 0,
+                before: None,
+            });
+            if group.stamp != self.generation {
+                group.stamp = self.generation;
+                group.before = group.state.aggregate(self.kind);
                 self.touched.push(key);
             }
-            group.update(value, delta.count);
+            group.state.update(value, delta.count);
         }
         for key in self.touched.drain(..) {
-            let old = self.old_aggs.remove(&key).unwrap_or(None);
-            let new = self.groups.get(&key).and_then(|g| g.aggregate(self.kind));
+            let group = &self.groups[&key];
+            let old = group.before;
+            let new = group.state.aggregate(self.kind);
             if old == new {
                 continue;
             }
@@ -566,5 +931,122 @@ mod tests {
     fn union_passes_through() {
         let mut u = Union::new(2);
         assert_eq!(run(&mut u, 1, Delta::insert(ints(&[4]))).len(), 1);
+    }
+
+    #[test]
+    fn join_with_projection_builds_outputs_directly() {
+        // Project (l.payload, r.payload) out of the virtual concat.
+        let mut j = HashJoin::with_projection(vec![0], vec![0], vec![1, 3]);
+        run(&mut j, 0, Delta::insert(ints(&[1, 10])));
+        let out = run(&mut j, 1, Delta::insert(ints(&[1, 20])));
+        assert_eq!(out, vec![Delta::insert(ints(&[10, 20]))]);
+        // Port 0 deltas produce the same orientation (left ++ right).
+        let out = run(&mut j, 0, Delta::insert(ints(&[1, 11])));
+        assert_eq!(out, vec![Delta::insert(ints(&[11, 20]))]);
+        // Retraction projects identically.
+        let out = run(&mut j, 1, Delta::delete(ints(&[1, 20])));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.count == -1));
+    }
+
+    #[test]
+    fn join_counters_report_shared_probes() {
+        let mut j = HashJoin::new(vec![0], vec![0]);
+        run(&mut j, 1, Delta::insert(ints(&[1, 20])));
+        // Five same-key deltas in one batch: one shared probe.
+        let batch: Vec<Delta> = (0..5).map(|v| Delta::insert(ints(&[1, v]))).collect();
+        let out = run_batch(&mut j, 0, &batch);
+        assert_eq!(out.len(), 5);
+        let c = j.take_counters();
+        assert_eq!(c.join_probe_deltas, 6); // priming delta + batch
+        assert_eq!(c.join_probes, 2); // one per port-batch
+        // Counters drained: a second take reports nothing.
+        assert_eq!(j.take_counters(), OpCounters::default());
+    }
+
+    #[test]
+    fn grouped_probe_handles_mixed_keys_and_update_pairs() {
+        let mut j = HashJoin::new(vec![0], vec![0]);
+        run_batch(
+            &mut j,
+            1,
+            &[Delta::insert(ints(&[1, 100])), Delta::insert(ints(&[2, 200]))],
+        );
+        // A batch mixing an update pair on key 1 with an insert on key
+        // 2 — grouped probing must emit exactly the per-delta outputs.
+        let out = run_batch(
+            &mut j,
+            0,
+            &[
+                Delta::delete(ints(&[1, 10])),
+                Delta::insert(ints(&[1, 11])),
+                Delta::insert(ints(&[2, 20])),
+            ],
+        );
+        let mut got = out.clone();
+        got.sort_by(|a, b| a.tuple.cmp(&b.tuple).then(a.count.cmp(&b.count)));
+        assert_eq!(
+            got,
+            vec![
+                Delta::delete(ints(&[1, 10, 1, 100])),
+                Delta::insert(ints(&[1, 11, 1, 100])),
+                Delta::insert(ints(&[2, 20, 2, 200])),
+            ]
+        );
+    }
+
+    #[test]
+    fn fused_chain_composes_maps_and_externals() {
+        // filter(even) ∘ Fn_split(x → x+1, x+2) ∘ project[0]
+        let mut filter = Map::filter(|t| t.get(0).as_int() % 2 == 0);
+        let mut split = ExternalFn::new("Fn_split", |t, emit| {
+            let x = t.get(0).as_int();
+            emit(ints(&[x, x + 1]));
+            emit(ints(&[x, x + 2]));
+        });
+        let mut proj = Map::project(vec![1]);
+        let mut stages = Vec::new();
+        stages.extend(filter.take_fuse_stages().unwrap());
+        stages.extend(split.take_fuse_stages().unwrap());
+        stages.extend(proj.take_fuse_stages().unwrap());
+        let mut fused = Fused::new(stages);
+        assert_eq!(fused.stage_count(), 3);
+        assert!(fused.fusable());
+        // Odd input: dropped by the first stage.
+        assert!(run(&mut fused, 0, Delta::insert(ints(&[3]))).is_empty());
+        // Even input with multiplicity: fans out through the external,
+        // projected, counts preserved.
+        let out = run(&mut fused, 0, Delta::with_count(ints(&[4]), -2));
+        assert_eq!(
+            out,
+            vec![
+                Delta::with_count(ints(&[5]), -2),
+                Delta::with_count(ints(&[6]), -2),
+            ]
+        );
+        let c = fused.take_counters();
+        assert_eq!(c.fused_stages_saved, 4); // 2 batches × 2 saved hops
+    }
+
+    #[test]
+    fn fused_chains_refuse_single_stages_and_renest() {
+        let mut m = Map::project(vec![0]);
+        let stages = m.take_fuse_stages().unwrap();
+        assert_eq!(stages.len(), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Fused::new(Vec::new());
+        }));
+        assert!(result.is_err(), "an empty chain must be rejected");
+        // A Fused can itself be refused into a longer chain.
+        let mut m2 = Map::project(vec![0]);
+        let mut all = stages;
+        all.extend(m2.take_fuse_stages().unwrap());
+        let mut fused = Fused::new(all);
+        let mut renested = Fused::new(fused.take_fuse_stages().unwrap());
+        assert_eq!(renested.stage_count(), 2);
+        assert_eq!(
+            run(&mut renested, 0, Delta::insert(ints(&[9, 1]))),
+            vec![Delta::insert(ints(&[9]))]
+        );
     }
 }

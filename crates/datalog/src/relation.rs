@@ -110,16 +110,49 @@ impl Multiset {
     }
 }
 
+/// Buckets up to this many entries are scanned linearly on update;
+/// larger ones maintain a tuple→position index.
+const LINEAR_BUCKET_MAX: usize = 8;
+
+/// One key's entries. Both layouts keep the tuples in a flat vector so
+/// probes — the join's inner loop — iterate densely; they differ only
+/// in how updates locate an entry.
+#[derive(Clone, Debug)]
+enum Bucket {
+    /// Few entries: linear scan.
+    Small(Vec<(Tuple, i64)>),
+    /// Many entries (e.g. a transitive-closure node with many
+    /// ancestors): positions held in a side index, `swap_remove` keeps
+    /// it consistent.
+    Large {
+        entries: Vec<(Tuple, i64)>,
+        index: FxHashMap<Tuple, u32>,
+    },
+}
+
+impl Bucket {
+    #[inline]
+    fn entries(&self) -> &[(Tuple, i64)] {
+        match self {
+            Bucket::Small(v) => v,
+            Bucket::Large { entries, .. } => entries,
+        }
+    }
+}
+
 /// A multiset indexed by a key projection — join-side state.
 ///
 /// The index is keyed by the *hash of the key columns*, computed
 /// directly from each tuple ([`Tuple::hash_cols`]) — no key tuple is
-/// ever materialized. Hash buckets store full tuples; probes re-check
-/// key-column equality, so colliding keys sharing a bucket stay correct.
+/// ever materialized. Hash buckets store full tuples in flat vectors
+/// ([`Bucket`]): probes iterate densely, updates scan linearly while
+/// the bucket is small and through a position index once it grows.
+/// Probes re-check key-column equality, so colliding keys sharing a
+/// bucket stay correct.
 #[derive(Clone, Debug, Default)]
 pub struct IndexedMultiset {
     key_cols: Vec<usize>,
-    by_key: FxHashMap<u64, FxHashMap<Tuple, i64>>,
+    by_key: FxHashMap<u64, Bucket>,
     total: usize,
 }
 
@@ -137,24 +170,105 @@ impl IndexedMultiset {
         &self.key_cols
     }
 
+    /// The index hash of `t`'s key columns — computed once per delta by
+    /// the batch-aware join and shared between [`apply_hashed`] and
+    /// [`matches_hashed`].
+    ///
+    /// [`apply_hashed`]: IndexedMultiset::apply_hashed
+    /// [`matches_hashed`]: IndexedMultiset::matches_hashed
+    #[inline]
+    pub fn key_hash(&self, t: &Tuple) -> u64 {
+        t.hash_cols(&self.key_cols)
+    }
+
     /// Applies a delta to the indexed state.
     pub fn apply(&mut self, delta: &Delta) {
-        if delta.count == 0 {
-            return;
-        }
-        let h = delta.tuple.hash_cols(&self.key_cols);
-        let group = self.by_key.entry(h).or_default();
-        let before = group.len();
-        let entry = group.entry(delta.tuple.clone()).or_insert(0);
-        *entry += delta.count;
-        if *entry == 0 {
-            group.remove(&delta.tuple);
-            self.total -= 1;
-            if group.is_empty() {
-                self.by_key.remove(&h);
+        self.apply_hashed(delta, delta.tuple.hash_cols(&self.key_cols));
+    }
+
+    /// [`IndexedMultiset::apply`] with the key hash already computed
+    /// (must equal `self.key_hash(&delta.tuple)`).
+    pub fn apply_hashed(&mut self, delta: &Delta, h: u64) {
+        self.apply_run_hashed(h, std::iter::once(delta));
+    }
+
+    /// Applies a run of deltas sharing one key hash — one bucket lookup
+    /// for the whole run (batch-aware joins feed each sorted same-key
+    /// run here; update pairs touch their bucket once).
+    pub fn apply_run_hashed<'a>(
+        &mut self,
+        h: u64,
+        deltas: impl Iterator<Item = &'a Delta>,
+    ) {
+        let mut emptied = false;
+        let group = self
+            .by_key
+            .entry(h)
+            .or_insert_with(|| Bucket::Small(Vec::new()));
+        for delta in deltas {
+            if delta.count == 0 {
+                continue;
             }
-        } else {
-            self.total += group.len() - before;
+            debug_assert_eq!(h, delta.tuple.hash_cols(&self.key_cols));
+            Self::bucket_apply(group, delta, &mut self.total, &mut emptied);
+        }
+        if emptied && group.entries().is_empty() {
+            self.by_key.remove(&h);
+        }
+    }
+
+    /// Applies one delta to a bucket, maintaining `total` and flagging
+    /// a (possibly transient) empty bucket.
+    fn bucket_apply(group: &mut Bucket, delta: &Delta, total: &mut usize, emptied: &mut bool) {
+        match group {
+            Bucket::Small(v) => {
+                match v.iter().position(|(t, _)| *t == delta.tuple) {
+                    Some(i) => {
+                        v[i].1 += delta.count;
+                        if v[i].1 == 0 {
+                            v.swap_remove(i);
+                            *total -= 1;
+                            *emptied |= v.is_empty();
+                        }
+                    }
+                    None => {
+                        v.push((delta.tuple.clone(), delta.count));
+                        *total += 1;
+                        if v.len() > LINEAR_BUCKET_MAX {
+                            let entries = std::mem::take(v);
+                            let index = entries
+                                .iter()
+                                .enumerate()
+                                .map(|(i, (t, _))| (t.clone(), i as u32))
+                                .collect();
+                            *group = Bucket::Large { entries, index };
+                        }
+                    }
+                }
+            }
+            Bucket::Large { entries, index } => match index.get(&delta.tuple) {
+                Some(&i) => {
+                    let i = i as usize;
+                    entries[i].1 += delta.count;
+                    if entries[i].1 == 0 {
+                        index.remove(&delta.tuple);
+                        entries.swap_remove(i);
+                        if i < entries.len() {
+                            // The moved entry's position changed.
+                            *index
+                                .get_mut(&entries[i].0)
+                                .expect("indexed entry present") = i as u32;
+                        }
+                        *total -= 1;
+                        *emptied |= entries.is_empty();
+                    }
+                }
+                None => {
+                    index.insert(delta.tuple.clone(), entries.len() as u32);
+                    entries.push((delta.tuple.clone(), delta.count));
+                    *total += 1;
+                }
+            },
         }
     }
 
@@ -167,13 +281,29 @@ impl IndexedMultiset {
         probe: &'a Tuple,
         probe_cols: &'a [usize],
     ) -> impl Iterator<Item = (&'a Tuple, i64)> + 'a {
-        let h = probe.hash_cols(probe_cols);
-        self.by_key.get(&h).into_iter().flat_map(move |group| {
-            group
-                .iter()
-                .filter(move |(t, _)| t.cols_eq(&self.key_cols, probe, probe_cols))
-                .map(|(t, &c)| (t, c))
-        })
+        self.matches_hashed(probe.hash_cols(probe_cols), probe, probe_cols)
+    }
+
+    /// [`IndexedMultiset::matches`] with the probe hash already computed
+    /// (must equal `probe.hash_cols(probe_cols)`).
+    pub fn matches_hashed<'a>(
+        &'a self,
+        h: u64,
+        probe: &'a Tuple,
+        probe_cols: &'a [usize],
+    ) -> impl Iterator<Item = (&'a Tuple, i64)> + 'a {
+        debug_assert_eq!(h, probe.hash_cols(probe_cols));
+        self.bucket(h)
+            .iter()
+            .filter(move |(t, _)| t.cols_eq(&self.key_cols, probe, probe_cols))
+            .map(|(t, c)| (t, *c))
+    }
+
+    /// The whole bucket for a key hash, unfiltered (batch probing
+    /// filters per entry itself).
+    #[inline]
+    pub(crate) fn bucket(&self, h: u64) -> &[(Tuple, i64)] {
+        self.by_key.get(&h).map_or(&[], Bucket::entries)
     }
 
     /// Distinct tuples currently stored (any count sign). O(1).
@@ -281,5 +411,57 @@ mod tests {
         m.apply(&Delta::insert(ints(&[1, 10])));
         m.apply(&Delta::delete(ints(&[1, 10])));
         assert_eq!(m.total_tuples(), 0);
+    }
+
+    #[test]
+    fn buckets_promote_to_indexed_layout_and_stay_consistent() {
+        // Push one key well past LINEAR_BUCKET_MAX, then delete through
+        // the promoted layout: totals, matches and cleanup must agree
+        // with the linear regime.
+        let mut m = IndexedMultiset::new(vec![0]);
+        let n = (LINEAR_BUCKET_MAX * 3) as i64;
+        for v in 0..n {
+            m.apply(&Delta::insert(ints(&[7, v])));
+        }
+        assert_eq!(m.total_tuples(), n as usize);
+        assert_eq!(m.matches(&ints(&[7, 0]), &[0]).count(), n as usize);
+        // Delete from the middle (exercises swap_remove + index fixup).
+        for v in (0..n).step_by(2) {
+            m.apply(&Delta::delete(ints(&[7, v])));
+        }
+        assert_eq!(m.total_tuples(), (n / 2) as usize);
+        let mut hits: Vec<i64> = m
+            .matches(&ints(&[7, 0]), &[0])
+            .map(|(t, _)| t.get(1).as_int())
+            .collect();
+        hits.sort();
+        assert_eq!(hits, (0..n).filter(|v| v % 2 == 1).collect::<Vec<_>>());
+        for v in (0..n).filter(|v| v % 2 == 1) {
+            m.apply(&Delta::delete(ints(&[7, v])));
+        }
+        assert_eq!(m.total_tuples(), 0);
+        assert_eq!(m.matches(&ints(&[7, 0]), &[0]).count(), 0);
+    }
+
+    #[test]
+    fn apply_run_shares_one_bucket_lookup() {
+        // An update pair (−old, +new on one key) through the run API
+        // leaves exactly the new tuple.
+        let mut m = IndexedMultiset::new(vec![0]);
+        m.apply(&Delta::insert(ints(&[5, 1])));
+        let h = m.key_hash(&ints(&[5, 2]));
+        let run = [Delta::delete(ints(&[5, 1])), Delta::insert(ints(&[5, 2]))];
+        m.apply_run_hashed(h, run.iter());
+        assert_eq!(m.total_tuples(), 1);
+        let hits: Vec<i64> = m
+            .matches(&ints(&[5, 0]), &[0])
+            .map(|(t, _)| t.get(1).as_int())
+            .collect();
+        assert_eq!(hits, vec![2]);
+        // A run that nets to empty removes the bucket entirely.
+        let run = [Delta::delete(ints(&[5, 2]))];
+        m.apply_run_hashed(h, run.iter());
+        assert_eq!(m.total_tuples(), 0);
+        assert_eq!(m.matches(&ints(&[5, 0]), &[0]).count(), 0);
     }
 }

@@ -175,7 +175,24 @@ fn unpack(word: i64, tag: u8) -> Val {
 #[derive(Clone)]
 enum Repr {
     Inline(Scalars),
-    Spilled(Arc<[Val]>),
+    /// Long tuples: shared values plus their canonical hash, computed
+    /// once at construction. Wide tuples are hashed at *every* stateful
+    /// hop (batch coalescing, join indexes, multiset state, sinks), so
+    /// caching the digest turns each of those into a single `u64` write.
+    Spilled(Arc<[Val]>, u64),
+}
+
+/// Builds the spilled representation, computing the canonical hash
+/// (length, then each value's packed `(tag, word)`) exactly once.
+fn spill(vals: Arc<[Val]>) -> Repr {
+    let mut h = FxHasher::default();
+    h.write_usize(vals.len());
+    for v in vals.iter() {
+        let (w, tag) = pack(v);
+        hash_packed_word(&mut h, tag, w);
+    }
+    let digest = h.finish();
+    Repr::Spilled(vals, digest)
 }
 
 /// A tuple: an immutable, cheaply clonable value sequence. All
@@ -198,7 +215,7 @@ impl Tuple {
             }
             Tuple(Repr::Inline(s))
         } else {
-            Tuple(Repr::Spilled(vals.iter().cloned().collect()))
+            Tuple(spill(vals.iter().cloned().collect()))
         }
     }
 
@@ -206,7 +223,7 @@ impl Tuple {
     pub fn len(&self) -> usize {
         match &self.0 {
             Repr::Inline(s) => s.len as usize,
-            Repr::Spilled(vals) => vals.len(),
+            Repr::Spilled(vals, _) => vals.len(),
         }
     }
 
@@ -220,7 +237,7 @@ impl Tuple {
     pub fn get(&self, i: usize) -> Val {
         match &self.0 {
             Repr::Inline(s) => s.val(i),
-            Repr::Spilled(vals) => vals[i],
+            Repr::Spilled(vals, _) => vals[i],
         }
     }
 
@@ -246,7 +263,7 @@ impl Tuple {
                 }
                 Tuple(Repr::Inline(out))
             }
-            Repr::Spilled(vals) if cols.len() <= INLINE_CAP => {
+            Repr::Spilled(vals, _) if cols.len() <= INLINE_CAP => {
                 let mut out = Scalars::EMPTY;
                 for &c in cols {
                     let (w, tag) = pack(&vals[c]);
@@ -254,9 +271,32 @@ impl Tuple {
                 }
                 Tuple(Repr::Inline(out))
             }
-            _ => Tuple(Repr::Spilled(
-                cols.iter().map(|&c| self.get(c)).collect(),
-            )),
+            _ => Tuple(spill(cols.iter().map(|&c| self.get(c)).collect())),
+        }
+    }
+
+    /// Projects columns out of the *virtual concatenation*
+    /// `self ++ other` without materializing it — the fused
+    /// join-then-project output path: one tuple construction instead of
+    /// a wide concat followed by a projection.
+    pub fn project_concat(&self, other: &Tuple, cols: &[usize]) -> Tuple {
+        let split = self.len();
+        let pick = |c: usize| -> Val {
+            if c < split {
+                self.get(c)
+            } else {
+                other.get(c - split)
+            }
+        };
+        if cols.len() <= INLINE_CAP {
+            let mut out = Scalars::EMPTY;
+            for &c in cols {
+                let (w, tag) = pack(&pick(c));
+                out.push(w, tag);
+            }
+            Tuple(Repr::Inline(out))
+        } else {
+            Tuple(spill(cols.iter().map(|&c| pick(c)).collect()))
         }
     }
 
@@ -296,11 +336,17 @@ impl Tuple {
 
     /// The tuple's FxHash — the batch coalescer's index key.
     /// Deterministic across runs (symbol ids are allocation-ordered, so
-    /// only within one process).
+    /// only within one process). Spilled tuples return their cached
+    /// construction-time digest.
     pub fn fx_hash(&self) -> u64 {
-        let mut h = FxHasher::default();
-        self.hash(&mut h);
-        h.finish()
+        match &self.0 {
+            Repr::Inline(_) => {
+                let mut h = FxHasher::default();
+                self.hash(&mut h);
+                h.finish()
+            }
+            Repr::Spilled(_, digest) => *digest,
+        }
     }
 
     /// Hashes the given columns directly — what a join index keys on —
@@ -316,7 +362,7 @@ impl Tuple {
                     hash_packed_word(&mut h, s.tag(c), s.words[c]);
                 }
             }
-            Repr::Spilled(vals) => {
+            Repr::Spilled(vals, _) => {
                 for &c in cols {
                     let (w, tag) = pack(&vals[c]);
                     hash_packed_word(&mut h, tag, w);
@@ -353,9 +399,9 @@ fn val_eq(a: &Tuple, i: usize, b: &Tuple, j: usize) -> bool {
         (Repr::Inline(x), Repr::Inline(y)) => {
             x.tag(i) == y.tag(j) && x.words[i] == y.words[j]
         }
-        (Repr::Spilled(x), Repr::Spilled(y)) => x[i] == y[j],
-        (Repr::Inline(x), Repr::Spilled(y)) => packed_eq_val(x, i, &y[j]),
-        (Repr::Spilled(x), Repr::Inline(y)) => packed_eq_val(y, j, &x[i]),
+        (Repr::Spilled(x, _), Repr::Spilled(y, _)) => x[i] == y[j],
+        (Repr::Inline(x), Repr::Spilled(y, _)) => packed_eq_val(x, i, &y[j]),
+        (Repr::Spilled(x, _), Repr::Inline(y)) => packed_eq_val(y, j, &x[i]),
     }
 }
 
@@ -374,7 +420,9 @@ impl PartialEq for Tuple {
                     && a.sym_mask == b.sym_mask
                     && a.words[..a.len as usize] == b.words[..b.len as usize]
             }
-            (Repr::Spilled(a), Repr::Spilled(b)) => a == b,
+            // Canonical hashing: unequal digests prove inequality
+            // without touching the values.
+            (Repr::Spilled(a, ha), Repr::Spilled(b, hb)) => ha == hb && a == b,
             // Canonical representation: a short tuple is always inline,
             // so differing representations differ in length.
             _ => false,
@@ -390,20 +438,17 @@ impl Hash for Tuple {
         // each arm only needs internal consistency.
         match &self.0 {
             Repr::Inline(s) => {
-                state.write_u8(s.len);
-                state.write_u8(s.cost_mask);
-                state.write_u8(s.sym_mask);
+                // Length and both tag masks fold into one header word —
+                // one hasher round instead of three.
+                let header =
+                    s.len as u64 | (s.cost_mask as u64) << 8 | (s.sym_mask as u64) << 16;
+                state.write_u64(header);
                 for &w in &s.words[..s.len as usize] {
                     state.write_u64(w as u64);
                 }
             }
-            Repr::Spilled(vals) => {
-                state.write_usize(vals.len());
-                for v in vals.iter() {
-                    let (w, tag) = pack(v);
-                    hash_packed_word(state, tag, w);
-                }
-            }
+            // The canonical digest was computed at construction.
+            Repr::Spilled(_, digest) => state.write_u64(*digest),
         }
     }
 }
@@ -463,7 +508,7 @@ pub fn ints(vals: &[i64]) -> Tuple {
         }
         Tuple(Repr::Inline(s))
     } else {
-        Tuple(Repr::Spilled(vals.iter().map(|&v| Val::Int(v)).collect()))
+        Tuple(spill(vals.iter().map(|&v| Val::Int(v)).collect()))
     }
 }
 

@@ -1,0 +1,306 @@
+//! Differential harness for the scheduler-mode matrix: random operator
+//! networks (joins, maps, unions, distinct, grouped aggregation) are
+//! executed under all of {`Batched`, `Batched`+fusion, `PerDelta`} and
+//! must produce identical sink multisets — counts included — with zero
+//! residual negative counts at every fixpoint.
+//!
+//! This pins the tentpole invariant of the batched/fused substrate: the
+//! scheduler's service order, batch grouping, probe sharing, chain
+//! fusion and coalescing are *performance* choices; the per-delta FIFO
+//! execution remains the semantic reference.
+
+use proptest::prelude::*;
+
+use reopt_datalog::value::{ints, Tuple, Val};
+use reopt_datalog::{
+    AggKind, Dataflow, Distinct, GroupAgg, HashJoin, Map, NodeId, SchedulerMode, SinkId, Union,
+};
+
+/// One randomly generated operator stage. Input indices select from the
+/// pool `[input0, input1, stage0, stage1, ...]` (mod pool size), so
+/// every generated graph is a well-formed DAG over binary tuples.
+#[derive(Clone, Debug)]
+enum StageGen {
+    /// Column swap — a pure projection.
+    Swap(u8),
+    /// Parity filter on column 0.
+    Filter(u8, bool),
+    /// Arithmetic map: `(c0, c1 + k)`.
+    Shift(u8, i8),
+    /// Equi-join on column 0 with a fused output projection back to a
+    /// binary tuple.
+    Join(u8, u8),
+    Union(u8, u8),
+    Distinct(u8),
+    Agg(u8, u8),
+}
+
+/// A full network description: stages plus which stage outputs get
+/// materialized (the last stage always does).
+#[derive(Clone, Debug)]
+struct NetGen {
+    stages: Vec<StageGen>,
+    sink_flags: Vec<bool>,
+}
+
+fn stage_gen() -> impl Strategy<Value = StageGen> {
+    (0u8..7, any::<u8>(), any::<u8>(), any::<bool>(), any::<i8>()).prop_map(
+        |(kind, a, b, flag, k)| match kind {
+            0 => StageGen::Swap(a),
+            1 => StageGen::Filter(a, flag),
+            2 => StageGen::Shift(a, k),
+            3 => StageGen::Join(a, b),
+            4 => StageGen::Union(a, b),
+            5 => StageGen::Distinct(a),
+            _ => StageGen::Agg(a, b),
+        },
+    )
+}
+
+fn net_gen(max_stages: usize) -> impl Strategy<Value = NetGen> {
+    (1..=max_stages).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(stage_gen(), n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(stages, sink_flags)| NetGen { stages, sink_flags })
+    })
+}
+
+/// Instantiates the described network under one scheduler/fusion mode.
+fn build(gen: &NetGen, mode: SchedulerMode, fusion: bool) -> (Dataflow, [NodeId; 2], Vec<SinkId>) {
+    let mut df = Dataflow::with_mode(mode);
+    df.set_fusion(fusion);
+    let inputs = [df.add_input("r"), df.add_input("s")];
+    let mut pool: Vec<NodeId> = inputs.to_vec();
+    let mut sinks = Vec::new();
+    let last = gen.stages.len() - 1;
+    for (i, stage) in gen.stages.iter().enumerate() {
+        let pick = |sel: u8| pool[sel as usize % pool.len()];
+        let node = match stage {
+            StageGen::Swap(a) => df.add_op(Map::project(vec![1, 0]), &[pick(*a)]),
+            StageGen::Filter(a, parity) => {
+                let want = i64::from(*parity);
+                df.add_op(
+                    Map::filter(move |t| t.get(0).as_int().rem_euclid(2) == want),
+                    &[pick(*a)],
+                )
+            }
+            StageGen::Shift(a, k) => {
+                let k = *k as i64;
+                df.add_op(
+                    Map::new(move |t| {
+                        Some(Tuple::new(vec![t.get(0), Val::Int(t.get(1).as_int() + k)]))
+                    }),
+                    &[pick(*a)],
+                )
+            }
+            StageGen::Join(a, b) => df.add_op(
+                // Key on column 0; project the virtual concat back to a
+                // binary tuple (left payload, right payload).
+                HashJoin::with_projection(vec![0], vec![0], vec![1, 3]),
+                &[pick(*a), pick(*b)],
+            ),
+            StageGen::Union(a, b) => df.add_op(Union::new(2), &[pick(*a), pick(*b)]),
+            StageGen::Distinct(a) => df.add_op(Distinct::new(), &[pick(*a)]),
+            StageGen::Agg(a, kind) => {
+                let kind = match kind % 4 {
+                    0 => AggKind::Min,
+                    1 => AggKind::Max,
+                    2 => AggKind::Sum,
+                    _ => AggKind::Count,
+                };
+                df.add_op(GroupAgg::new(vec![0], 1, kind), &[pick(*a)])
+            }
+        };
+        if gen.sink_flags[i] || i == last {
+            sinks.push(df.add_sink(node));
+        }
+        pool.push(node);
+    }
+    (df, inputs, sinks)
+}
+
+/// Sink contents with multiplicities, sorted — the observational state
+/// all modes must agree on.
+fn sink_counted(df: &Dataflow, sink: SinkId) -> Vec<(Tuple, i64)> {
+    let mut v: Vec<(Tuple, i64)> = df.sink(sink).iter().map(|(t, c)| (t.clone(), c)).collect();
+    v.sort();
+    v
+}
+
+/// A raw event: (input selector, key, payload, insert?).
+type Event = (bool, u8, u8, bool);
+
+fn events(max: usize) -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec((any::<bool>(), 0u8..4, 0u8..6, any::<bool>()), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The full matrix: {Batched, Batched+fusion, PerDelta} on random
+    /// DAGs of all operator kinds agree on every materialized sink and
+    /// leave no residual negative counts, under random set-like
+    /// insert/delete streams with interleaved fixpoints.
+    #[test]
+    fn scheduler_modes_agree_on_random_networks(
+        gen in net_gen(5),
+        evts in events(24),
+        run_every in 1usize..6,
+    ) {
+        let matrix = [
+            (SchedulerMode::Batched, false),
+            (SchedulerMode::Batched, true),
+            (SchedulerMode::PerDelta, false),
+        ];
+        let mut nets: Vec<(Dataflow, [NodeId; 2], Vec<SinkId>)> =
+            matrix.iter().map(|&(m, f)| build(&gen, m, f)).collect();
+        // Set-like inputs (delete only present tuples) keep every
+        // operator's fixpoint state non-negative.
+        let mut live: [Vec<(i64, i64)>; 2] = [Vec::new(), Vec::new()];
+        for (step, (which, key, val, insert)) in evts.iter().enumerate() {
+            let side = *which as usize;
+            let row = (*key as i64, *val as i64);
+            let present = live[side].contains(&row);
+            if *insert == present {
+                continue;
+            }
+            if *insert {
+                live[side].push(row);
+            } else {
+                let at = live[side].iter().position(|r| *r == row).unwrap();
+                live[side].swap_remove(at);
+            }
+            let tup = ints(&[row.0, row.1]);
+            for (df, inputs, _) in nets.iter_mut() {
+                if *insert {
+                    df.insert(inputs[side], tup.clone());
+                } else {
+                    df.delete(inputs[side], tup.clone());
+                }
+            }
+            if step % run_every == 0 {
+                for (df, _, _) in nets.iter_mut() {
+                    df.run().unwrap();
+                }
+            }
+        }
+        for (df, _, _) in nets.iter_mut() {
+            df.run().unwrap();
+        }
+        let (reference, rest) = nets.split_first().unwrap();
+        for (i, (df, _, sinks)) in rest.iter().enumerate() {
+            for (s_ref, s) in reference.2.iter().zip(sinks) {
+                prop_assert!(
+                    !df.sink(*s).has_negative_counts(),
+                    "negative counts in {:?}", matrix[i + 1]
+                );
+                prop_assert_eq!(
+                    sink_counted(&reference.0, *s_ref),
+                    sink_counted(df, *s),
+                    "sink mismatch: {:?} vs {:?}", matrix[0], matrix[i + 1]
+                );
+            }
+        }
+    }
+
+    /// Fusion-focused slice of the matrix: single-consumer stateless
+    /// chains (the shape fusion rewrites) produce identical sinks, the
+    /// rewrite provably fires, and the run reports the dispatches it
+    /// absorbed.
+    #[test]
+    fn fused_chains_match_unfused_and_collapse_dispatch(
+        shifts in proptest::collection::vec(any::<i8>(), 2..6),
+        keys in proptest::collection::vec((0u8..8, 0u8..8), 1..12),
+    ) {
+        let build_chain = |fusion: bool| {
+            let mut df = Dataflow::new();
+            df.set_fusion(fusion);
+            let input = df.add_input("r");
+            let mut node = input;
+            for k in &shifts {
+                let k = *k as i64;
+                node = df.add_op(
+                    Map::new(move |t| {
+                        Some(Tuple::new(vec![t.get(0), Val::Int(t.get(1).as_int() + k)]))
+                    }),
+                    &[node],
+                );
+            }
+            let sink = df.add_sink(node);
+            (df, input, sink)
+        };
+        let (mut fused, f_in, f_sink) = build_chain(true);
+        let (mut plain, p_in, p_sink) = build_chain(false);
+        for (k, v) in &keys {
+            fused.insert(f_in, ints(&[*k as i64, *v as i64]));
+            plain.insert(p_in, ints(&[*k as i64, *v as i64]));
+        }
+        let f_stats = fused.run().unwrap();
+        let p_stats = plain.run().unwrap();
+        prop_assert_eq!(sink_counted(&fused, f_sink), sink_counted(&plain, p_sink));
+        // The whole chain collapsed into one operator…
+        prop_assert_eq!(fused.fused_node_count(), shifts.len() - 1);
+        prop_assert_eq!(plain.fused_node_count(), 0);
+        // …and the run visibly skipped the per-stage dispatches.
+        prop_assert!(
+            f_stats.fused_stages_saved >= (shifts.len() - 1) as u64,
+            "no dispatch savings reported: {f_stats:?}"
+        );
+        prop_assert!(f_stats.batches_processed < p_stats.batches_processed
+            || f_stats.deltas_processed < p_stats.deltas_processed,
+            "fusion did not shrink scheduling: {f_stats:?} vs {p_stats:?}");
+    }
+}
+
+/// The recursive transitive-closure network — cyclic, so it exercises
+/// fusion + rank scheduling + counting deletions together — run under
+/// the full mode matrix on a fixed churn script.
+#[test]
+fn scheduler_modes_agree_on_recursive_closure() {
+    let tc = |mode: SchedulerMode, fusion: bool| {
+        let mut df = Dataflow::with_mode(mode);
+        df.set_fusion(fusion);
+        let edge = df.add_input("edge");
+        let union = df.add_op_unwired(Union::new(2));
+        df.connect(edge, union, 0);
+        let path = df.add_op(Distinct::new(), &[union]);
+        let join = df.add_op_unwired(HashJoin::new(vec![1], vec![0]));
+        df.connect(path, join, 0);
+        df.connect(edge, join, 1);
+        let proj = df.add_op(Map::project(vec![0, 3]), &[join]);
+        df.connect(proj, union, 1);
+        let sink = df.add_sink(path);
+        (df, edge, sink)
+    };
+    let script: &[(i64, i64, bool)] = &[
+        (1, 2, true),
+        (2, 3, true),
+        (3, 4, true),
+        (1, 3, true),
+        (2, 3, false),
+        (2, 4, true),
+        (1, 3, false),
+    ];
+    let mut nets = [
+        tc(SchedulerMode::Batched, false),
+        tc(SchedulerMode::Batched, true),
+        tc(SchedulerMode::PerDelta, false),
+    ];
+    for &(a, b, insert) in script {
+        for (df, edge, _) in nets.iter_mut() {
+            if insert {
+                df.insert(*edge, ints(&[a, b]));
+            } else {
+                df.delete(*edge, ints(&[a, b]));
+            }
+            df.run().unwrap();
+        }
+    }
+    let reference = sink_counted(&nets[0].0, nets[0].2);
+    for (df, _, sink) in &nets[1..] {
+        assert!(!df.sink(*sink).has_negative_counts());
+        assert_eq!(reference, sink_counted(df, *sink));
+    }
+}

@@ -15,6 +15,10 @@
 //!   results (`{"name": ..., "median_ns": ...}` per bench) to `<path>`
 //!   when the binary exits, so perf baselines can be committed and
 //!   compared across PRs.
+//! - `REOPT_BENCH_JSON_MERGE=1` — instead of overwriting, fold the
+//!   report into any entries already present at the path (same-name
+//!   entries are replaced). Lets several bench binaries — separate
+//!   processes — accumulate one combined baseline file.
 
 use std::fmt::Display;
 use std::sync::Mutex;
@@ -102,13 +106,52 @@ fn smoke_mode() -> bool {
 /// Results collected for the optional JSON report.
 static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
+/// Parses `{"name": ..., "median_ns": ...}` lines out of an existing
+/// report (the merge path tolerates a missing or foreign file).
+fn parse_existing(path: &std::ffi::OsStr) -> Vec<(String, u128)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(close) = rest.find('"') else { continue };
+        let name = rest[..close].to_string();
+        let Some(med_at) = line.find("\"median_ns\": ") else {
+            continue;
+        };
+        let digits: String = line[med_at + 13..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(ns) = digits.parse() {
+            out.push((name, ns));
+        }
+    }
+    out
+}
+
 /// Writes collected results to `$REOPT_BENCH_JSON` if set. Called by
-/// `criterion_main!` after all groups have run.
+/// `criterion_main!` after all groups have run. With
+/// `REOPT_BENCH_JSON_MERGE` set, entries already in the file survive
+/// unless this run re-measured them.
 pub fn flush_json_report() {
     let Some(path) = std::env::var_os("REOPT_BENCH_JSON") else {
         return;
     };
-    let results = RESULTS.lock().unwrap();
+    let fresh = RESULTS.lock().unwrap();
+    let mut results: Vec<(String, u128)> = Vec::new();
+    if std::env::var_os("REOPT_BENCH_JSON_MERGE").is_some_and(|v| v != "0" && !v.is_empty()) {
+        results.extend(
+            parse_existing(&path)
+                .into_iter()
+                .filter(|(name, _)| !fresh.iter().any(|(n, _)| n == name)),
+        );
+    }
+    results.extend(fresh.iter().cloned());
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",

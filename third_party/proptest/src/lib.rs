@@ -69,12 +69,28 @@ impl TestRng {
         }
     }
 
-    /// Seeds deterministically from a test's module path + name.
+    /// Seeds deterministically from a test's module path + name. If the
+    /// `REOPT_PROPTEST_SEED` environment variable is set, its value
+    /// (a u64, or any string — hashed) perturbs the per-test seed: the
+    /// default run is fully reproducible, and CI adds one extra pass
+    /// with a per-run seed so fresh case vectors are explored over time
+    /// without giving up replayability (re-export the same value to
+    /// replay).
     pub fn from_name(name: &str) -> Self {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in name.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
+        let fold = |mut h: u64, bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        };
+        h = fold(h, name.as_bytes());
+        if let Ok(seed) = std::env::var("REOPT_PROPTEST_SEED") {
+            h = match seed.parse::<u64>() {
+                Ok(n) => h ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                Err(_) => fold(h, seed.as_bytes()),
+            };
         }
         Self::seed_from_u64(h)
     }
