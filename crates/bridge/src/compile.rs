@@ -28,8 +28,8 @@ use std::rc::Rc;
 use reopt_common::FxHashMap;
 use reopt_core::rules_ir::{AggFunc, Atom, Rule, Term};
 use reopt_datalog::{
-    AggKind, Dataflow, Delta, Distinct, ExternalFn, GroupAgg, HashJoin, Map, Multiset,
-    NodeId, RunStats, SchedulerMode, SinkId, Tuple, Union, Val,
+    AggKind, Dataflow, DataflowError, Delta, Distinct, ExternalFn, FaultPlan, GroupAgg,
+    HashJoin, Map, Multiset, NodeId, RunStats, SchedulerMode, SinkId, Tuple, Union, Val,
 };
 
 /// The value standing in for the rules' `null` constant: a dedicated
@@ -882,9 +882,32 @@ impl RuleNetwork {
         self.push(relation, Delta::delete(tuple));
     }
 
-    /// Runs to fixpoint.
-    pub fn run(&mut self) -> Result<RunStats, reopt_datalog::dataflow::FixpointOverrun> {
+    /// Runs to fixpoint as one epoch: a failed run rolls the whole
+    /// network back to the last committed fixpoint (see
+    /// [`reopt_datalog::Dataflow::run`]).
+    pub fn run(&mut self) -> Result<RunStats, DataflowError> {
         self.df.run()
+    }
+
+    /// Overrides the fixpoint step budget.
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.df.set_max_steps(max);
+    }
+
+    /// The current fixpoint step budget.
+    pub fn max_steps(&self) -> u64 {
+        self.df.max_steps()
+    }
+
+    /// Arms (or disarms) the chaos fault injector on the underlying
+    /// dataflow.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.df.set_fault_plan(plan);
+    }
+
+    /// Epochs rolled back (failed runs) so far.
+    pub fn rollbacks(&self) -> u64 {
+        self.df.rollbacks()
     }
 
     /// A materialized relation (must have been requested via

@@ -19,4 +19,7 @@ pub mod compile;
 pub mod optimizer;
 
 pub use compile::{CompileError, NetworkBuilder, RuleNetwork};
-pub use optimizer::{dataflow_program, DataflowOptimizer, DataflowOutcome, DATAFLOW_RULES};
+pub use optimizer::{
+    dataflow_program, AuditMode, AuditOutcome, DataflowOptimizer, DataflowOutcome, RecoveryPath,
+    RecoveryReport, DATAFLOW_RULES,
+};

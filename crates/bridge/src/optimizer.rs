@@ -42,8 +42,9 @@ use reopt_catalog::Catalog;
 use reopt_common::{Cost, FxHashMap};
 use reopt_core::memo::{AltId, GroupId, Memo};
 use reopt_core::rules_ir::{parse_rules, Rule};
+use reopt_core::{IncrementalOptimizer, PruningConfig};
 use reopt_cost::{CostContext, ParamDelta};
-use reopt_datalog::{RunStats, Tuple, Val};
+use reopt_datalog::{DataflowError, FaultPlan, Multiset, RunStats, Tuple, Val};
 use reopt_expr::{ExprId, JoinGraph, PhysProp, PlanNode, QuerySpec};
 
 use crate::compile::{null_value, NetworkBuilder, RuleNetwork};
@@ -117,6 +118,86 @@ pub struct DataflowOutcome {
     pub plan: PlanNode,
     /// Substrate-level execution statistics for the run.
     pub stats: RunStats,
+    /// How the epoch reached its committed fixpoint, including any
+    /// failures absorbed along the way and the sampled audit verdict.
+    pub recovery: RecoveryReport,
+}
+
+/// How a (re)optimization epoch reached its committed fixpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPath {
+    /// The epoch committed on the first attempt.
+    Committed,
+    /// The first attempt failed; the substrate rolled back to the last
+    /// committed fixpoint and a retry under a raised step budget
+    /// replayed the same deltas to a committed fixpoint.
+    RetriedAfterRollback,
+    /// The retry failed too; the network was rebuilt from scratch from
+    /// the memo and the `LocalCost` mirror (which already reflects every
+    /// applied parameter delta), then evaluated fresh.
+    RebuiltFromScratch,
+}
+
+/// Verdict of the sampled post-epoch audit (see [`AuditMode`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// This epoch was not in the sample.
+    NotSampled,
+    /// The audited state matched a from-scratch recompute and every
+    /// cross-engine invariant.
+    Passed,
+    /// The audit caught drift; the report carries the violation.
+    Failed(DataflowError),
+}
+
+/// What happened on the way to the outcome the caller sees. Callers
+/// always get a correct committed fixpoint; this reports how it was
+/// reached.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    pub path: RecoveryPath,
+    /// Every epoch failure absorbed along the way, in order.
+    pub errors: Vec<DataflowError>,
+    pub audit: AuditOutcome,
+}
+
+impl RecoveryReport {
+    fn committed() -> RecoveryReport {
+        RecoveryReport {
+            path: RecoveryPath::Committed,
+            errors: Vec::new(),
+            audit: AuditOutcome::NotSampled,
+        }
+    }
+
+    /// True iff the epoch needed no recovery and no audit flagged it.
+    pub fn is_clean(&self) -> bool {
+        self.path == RecoveryPath::Committed
+            && self.errors.is_empty()
+            && !matches!(self.audit, AuditOutcome::Failed(_))
+    }
+}
+
+/// Post-epoch audit sampling policy. The constructor default comes from
+/// the `REOPT_AUDIT` environment variable: unset, `0`, `off` or `false`
+/// disable auditing; `1` audits every epoch; any other integer `n`
+/// audits every `n`-th epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditMode {
+    Off,
+    Every(u64),
+}
+
+impl AuditMode {
+    pub fn from_env() -> AuditMode {
+        match std::env::var("REOPT_AUDIT") {
+            Err(_) => AuditMode::Off,
+            Ok(v) => match v.trim() {
+                "" | "0" | "off" | "false" => AuditMode::Off,
+                s => AuditMode::Every(s.parse().unwrap_or(1).max(1)),
+            },
+        }
+    }
 }
 
 /// The optimizer-as-a-view: rules compiled onto the dataflow substrate,
@@ -128,13 +209,23 @@ pub struct DataflowOptimizer {
     props: Rc<PropTable>,
     net: RuleNetwork,
     /// Mirror of the `LocalCost` base relation, per [`AltId`] — the
-    /// old value is needed to emit the retraction half of an update.
+    /// old value is needed to emit the retraction half of an update,
+    /// and a from-scratch rebuild re-seeds the relation from it.
     local: Vec<Cost>,
     /// The [`CostContext::alt_affected`] predicate inverted at build
     /// time: parameter → alternatives it can touch, so a reoptimize
     /// visits candidates directly instead of scanning every alternative.
     dirty_index: DirtyIndex,
     initialized: bool,
+    /// Kept so the audit can stand up an independent hand-rolled
+    /// optimizer against pristine statistics.
+    catalog: Catalog,
+    /// Deduped log of every applied [`ParamDelta`] (factors are
+    /// absolute, so per parameter only the last write matters) — the
+    /// audit replays it on the shadow engine.
+    applied: Vec<ParamDelta>,
+    audit: AuditMode,
+    epochs_seen: u64,
 }
 
 /// Per-parameter candidate alternatives (see
@@ -217,6 +308,10 @@ impl DataflowOptimizer {
             local,
             dirty_index,
             initialized: false,
+            catalog: catalog.clone(),
+            applied: Vec::new(),
+            audit: AuditMode::from_env(),
+            epochs_seen: 0,
         }
     }
 
@@ -233,11 +328,6 @@ impl DataflowOptimizer {
     pub fn optimize(&mut self) -> DataflowOutcome {
         if !self.initialized {
             self.initialized = true;
-            let root = self.memo.group(self.memo.root);
-            self.net.insert(
-                "Expr",
-                Tuple::new(vec![encode_expr(root.expr), self.props.encode(root.prop)]),
-            );
             for gi in 0..self.memo.n_groups() as u32 {
                 let g = GroupId(gi);
                 let (expr, prop) = {
@@ -246,15 +336,13 @@ impl DataflowOptimizer {
                 };
                 for a in self.memo.alts_of(g) {
                     let spec = self.memo.alt(a).spec;
-                    let c = self.ctx.local_cost(&self.q, expr, prop, &spec);
-                    self.local[a.0 as usize] = c;
-                    let t = self.local_tuple(expr, prop, a, c);
-                    self.net.insert("LocalCost", t);
+                    self.local[a.0 as usize] = self.ctx.local_cost(&self.q, expr, prop, &spec);
                 }
             }
+            self.seed_network();
         }
-        let stats = self.net.run().expect("acyclic cost propagation converges");
-        self.outcome(stats)
+        let (stats, recovery) = self.run_recovering();
+        self.outcome(stats, recovery)
     }
 
     /// Incremental re-optimization (§4): apply the parameter deltas to
@@ -262,9 +350,10 @@ impl DataflowOptimizer {
     /// the changes to the network as `LocalCost` base-relation deltas.
     pub fn reoptimize(&mut self, deltas: &[ParamDelta]) -> DataflowOutcome {
         assert!(self.initialized, "call optimize() before reoptimize()");
+        self.record_applied(deltas);
         let affected = self.ctx.apply(deltas);
         if affected.is_empty() {
-            return self.outcome(RunStats::default());
+            return self.outcome(RunStats::default(), RecoveryReport::committed());
         }
         // Candidate alternatives straight from the inverted index —
         // equivalent to testing `alt_affected` on every alternative
@@ -301,8 +390,225 @@ impl DataflowOptimizer {
             self.net.delete("LocalCost", retract);
             self.net.insert("LocalCost", assert);
         }
-        let stats = self.net.run().expect("acyclic cost propagation converges");
-        self.outcome(stats)
+        let (stats, recovery) = self.run_recovering();
+        self.outcome(stats, recovery)
+    }
+
+    /// Runs the network to fixpoint behind the degradation ladder. The
+    /// substrate already guarantees that a failed epoch rolls back to
+    /// the last committed fixpoint with its input deltas re-queued, so
+    /// each rung replays exactly the same epoch:
+    ///
+    /// 1. first attempt under the current step budget;
+    /// 2. one retry under a ×4 budget (covers genuine fixpoint
+    ///    overruns; the raise sticks so a workload that legitimately
+    ///    outgrew the budget does not fail every subsequent epoch);
+    /// 3. a from-scratch rebuild — fresh network from the memo,
+    ///    re-seeded from the post-delta `LocalCost` mirror — which
+    ///    leaves every trace of the poisoned instance behind.
+    ///
+    /// Callers always get a committed fixpoint plus a report of the
+    /// failures absorbed on the way.
+    fn run_recovering(&mut self) -> (RunStats, RecoveryReport) {
+        let mut report = RecoveryReport::committed();
+        let stats = match self.net.run() {
+            Ok(stats) => stats,
+            Err(first) => {
+                report.errors.push(first);
+                let budget = self.net.max_steps();
+                self.net.set_max_steps(budget.saturating_mul(4));
+                match self.net.run() {
+                    Ok(stats) => {
+                        report.path = RecoveryPath::RetriedAfterRollback;
+                        stats
+                    }
+                    Err(second) => {
+                        report.errors.push(second);
+                        report.path = RecoveryPath::RebuiltFromScratch;
+                        self.rebuild_from_scratch()
+                    }
+                }
+            }
+        };
+        self.epochs_seen += 1;
+        report.audit = self.maybe_audit();
+        (stats, report)
+    }
+
+    /// The ladder's last rung: discard the poisoned network (and with
+    /// it any armed fault plan or exhausted budget), compile a fresh
+    /// one from the memo, and re-seed it from the `LocalCost` mirror —
+    /// which already reflects every applied parameter delta, so the
+    /// fresh fixpoint equals the one the incremental epoch should have
+    /// produced.
+    fn rebuild_from_scratch(&mut self) -> RunStats {
+        self.net = build_network(Rc::clone(&self.memo), Rc::clone(&self.props));
+        self.seed_network();
+        self.net
+            .run()
+            .expect("a fresh fault-free network converges")
+    }
+
+    /// Seeds a freshly built network: the root `Expr` demand plus the
+    /// full `LocalCost` relation from the mirror.
+    fn seed_network(&mut self) {
+        let root = self.memo.group(self.memo.root);
+        self.net.insert(
+            "Expr",
+            Tuple::new(vec![encode_expr(root.expr), self.props.encode(root.prop)]),
+        );
+        for gi in 0..self.memo.n_groups() as u32 {
+            let g = GroupId(gi);
+            let (expr, prop) = {
+                let d = self.memo.group(g);
+                (d.expr, d.prop)
+            };
+            for a in self.memo.alts_of(g) {
+                let t = self.local_tuple(expr, prop, a, self.local[a.0 as usize]);
+                self.net.insert("LocalCost", t);
+            }
+        }
+    }
+
+    /// Appends to the applied-delta log, keeping only the last write
+    /// per parameter (factors are absolute, so replaying the deduped
+    /// log reproduces the current [`CostContext`]).
+    fn record_applied(&mut self, deltas: &[ParamDelta]) {
+        for d in deltas {
+            let key = applied_key(d);
+            match self.applied.iter_mut().find(|e| applied_key(e) == key) {
+                Some(slot) => *slot = *d,
+                None => self.applied.push(*d),
+            }
+        }
+    }
+
+    fn maybe_audit(&mut self) -> AuditOutcome {
+        let every = match self.audit {
+            AuditMode::Off => return AuditOutcome::NotSampled,
+            AuditMode::Every(n) => n.max(1),
+        };
+        if !self.epochs_seen.is_multiple_of(every) {
+            return AuditOutcome::NotSampled;
+        }
+        match self.audit_now() {
+            Ok(()) => AuditOutcome::Passed,
+            Err(e) => AuditOutcome::Failed(e),
+        }
+    }
+
+    /// The audit itself, independent of sampling. Three checks, each
+    /// surfacing as [`DataflowError::InvariantViolation`]:
+    ///
+    /// 1. no residual negative counts in any materialized sink (a torn
+    ///    rollback would leave the retraction half of an update);
+    /// 2. the live sinks match a from-scratch recompute on a fresh
+    ///    network whose `LocalCost` rows are re-derived from the
+    ///    [`CostContext`] (catches both substrate drift and a torn
+    ///    mirror);
+    /// 3. a shadow hand-rolled [`IncrementalOptimizer`] replaying the
+    ///    deduped delta log passes its own structural invariants
+    ///    ([`IncrementalOptimizer::check_invariants`]) and agrees on
+    ///    the best cost.
+    fn audit_now(&mut self) -> Result<(), DataflowError> {
+        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+            for (t, c) in self.net.sink(name).iter() {
+                if c < 0 {
+                    return Err(DataflowError::InvariantViolation(format!(
+                        "audit: residual negative count {c} for {t:?} in sink {name}"
+                    )));
+                }
+            }
+        }
+        let mut fresh = build_network(Rc::clone(&self.memo), Rc::clone(&self.props));
+        let root = self.memo.group(self.memo.root);
+        fresh.insert(
+            "Expr",
+            Tuple::new(vec![encode_expr(root.expr), self.props.encode(root.prop)]),
+        );
+        for gi in 0..self.memo.n_groups() as u32 {
+            let g = GroupId(gi);
+            let (expr, prop) = {
+                let d = self.memo.group(g);
+                (d.expr, d.prop)
+            };
+            for a in self.memo.alts_of(g) {
+                let spec = self.memo.alt(a).spec;
+                let c = self.ctx.local_cost(&self.q, expr, prop, &spec);
+                if c != self.local[a.0 as usize] {
+                    return Err(DataflowError::InvariantViolation(format!(
+                        "audit: LocalCost mirror for alt {} holds {:?} but recompute gives {c:?}",
+                        a.0, self.local[a.0 as usize]
+                    )));
+                }
+                fresh.insert("LocalCost", self.local_tuple(expr, prop, a, c));
+            }
+        }
+        fresh.run().map_err(|e| {
+            DataflowError::InvariantViolation(format!("audit: from-scratch recompute failed: {e}"))
+        })?;
+        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+            let live = counted(self.net.sink(name));
+            let want = counted(fresh.sink(name));
+            if live != want {
+                return Err(DataflowError::InvariantViolation(format!(
+                    "audit: sink {name} diverged from from-scratch recompute \
+                     ({} live vs {} recomputed tuples)",
+                    live.len(),
+                    want.len()
+                )));
+            }
+        }
+        let mut shadow = IncrementalOptimizer::new(&self.catalog, self.q.clone(), PruningConfig::none());
+        let mut want = shadow.optimize();
+        if !self.applied.is_empty() {
+            let applied = self.applied.clone();
+            want = shadow.reoptimize(&applied);
+        }
+        shadow
+            .check_invariants()
+            .map_err(|m| DataflowError::InvariantViolation(format!("audit: shadow engine: {m}")))?;
+        if !want.cost.approx_eq(self.best_cost()) {
+            return Err(DataflowError::InvariantViolation(format!(
+                "audit: best cost {:?} disagrees with shadow engine {:?}",
+                self.best_cost(),
+                want.cost
+            )));
+        }
+        Ok(())
+    }
+
+    /// Arms the substrate's deterministic fault injector (chaos tests).
+    pub fn inject_fault(&mut self, plan: FaultPlan) {
+        self.net.set_fault_plan(Some(plan));
+    }
+
+    /// Overrides the audit sampling policy (the constructor default is
+    /// [`AuditMode::from_env`]).
+    pub fn set_audit_mode(&mut self, mode: AuditMode) {
+        self.audit = mode;
+    }
+
+    /// Runs the full audit immediately, regardless of sampling.
+    pub fn audit(&mut self) -> Result<(), DataflowError> {
+        self.audit_now()
+    }
+
+    /// Step-budget control, exposed for overrun-recovery tests.
+    pub fn set_max_steps(&mut self, steps: u64) {
+        self.net.set_max_steps(steps);
+    }
+
+    /// A materialized sink relation, by name — chaos tests compare
+    /// these across recovery paths.
+    pub fn sink(&self, relation: &str) -> &Multiset {
+        self.net.sink(relation)
+    }
+
+    /// Lifetime count of substrate epoch rollbacks (resets when a
+    /// rebuild replaces the network).
+    pub fn rollbacks(&self) -> u64 {
+        self.net.rollbacks()
     }
 
     fn local_tuple(&self, expr: ExprId, prop: PhysProp, a: AltId, c: Cost) -> Tuple {
@@ -314,11 +620,12 @@ impl DataflowOptimizer {
         ])
     }
 
-    fn outcome(&self, stats: RunStats) -> DataflowOutcome {
+    fn outcome(&self, stats: RunStats, recovery: RecoveryReport) -> DataflowOutcome {
         DataflowOutcome {
             cost: self.best_cost(),
             plan: self.best_plan(),
             stats,
+            recovery,
         }
     }
 
@@ -380,6 +687,20 @@ impl DataflowOptimizer {
     pub fn fused_nodes(&self) -> usize {
         self.net.fused_node_count()
     }
+}
+
+/// Dedup key for the applied-delta log: parameter kind plus id.
+fn applied_key(d: &ParamDelta) -> (u8, u32) {
+    match d {
+        ParamDelta::EdgeSelectivity(e, _) => (0, e.0),
+        ParamDelta::LeafCardinality(l, _) => (1, l.0),
+        ParamDelta::LeafScanCost(l, _) => (2, l.0),
+    }
+}
+
+/// A sink's contents as a comparable `tuple → count` map.
+fn counted(sink: &Multiset) -> FxHashMap<Tuple, i64> {
+    sink.iter().map(|(t, c)| (t.clone(), c)).collect()
 }
 
 /// Compiles [`DATAFLOW_RULES`] with the memo-backed externals.
@@ -653,6 +974,136 @@ mod tests {
         let second = df.reoptimize(&[ParamDelta::LeafScanCost(LeafId(0), 2.0)]);
         assert_eq!(second.stats.deltas_processed, 0);
         assert_eq!(second.cost, first.cost);
+    }
+
+    #[test]
+    fn injected_fault_recovers_via_rollback_and_retry() {
+        // One shot: the epoch aborts mid-flight, the substrate rolls
+        // back, and the retry replays the same deltas to the same
+        // fixpoint a fault-free twin reaches.
+        let c = fixture_catalog();
+        let q = chain_query(&c, 4);
+        let mut oracle = DataflowOptimizer::new(&c, q.clone());
+        oracle.optimize();
+        let mut victim = DataflowOptimizer::new(&c, q.clone());
+        victim.optimize();
+        let batch = vec![ParamDelta::EdgeSelectivity(EdgeId(1), 6.0)];
+        let want = oracle.reoptimize(&batch);
+        victim.inject_fault(reopt_datalog::FaultPlan::one_shot(3));
+        let got = victim.reoptimize(&batch);
+        assert_eq!(got.recovery.path, RecoveryPath::RetriedAfterRollback);
+        assert_eq!(got.recovery.errors.len(), 1);
+        assert!(matches!(
+            got.recovery.errors[0],
+            DataflowError::InjectedFault { .. }
+        ));
+        assert_eq!(victim.rollbacks(), 1);
+        assert!(got.cost.approx_eq(want.cost), "{:?} vs {:?}", got.cost, want.cost);
+        assert_eq!(got.plan, want.plan);
+        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+            assert_eq!(counted(victim.sink(name)), counted(oracle.sink(name)), "{name}");
+        }
+    }
+
+    #[test]
+    fn repeated_faults_degrade_to_a_from_scratch_rebuild() {
+        // Two shots kill the retry too; the ladder's last rung rebuilds
+        // the network from the memo + mirror and still converges to the
+        // oracle's fixpoint.
+        let c = fixture_catalog();
+        let q = chain_query(&c, 4);
+        let mut oracle = DataflowOptimizer::new(&c, q.clone());
+        oracle.optimize();
+        let mut victim = DataflowOptimizer::new(&c, q.clone());
+        victim.optimize();
+        let batch = vec![ParamDelta::LeafCardinality(LeafId(2), 0.2)];
+        let want = oracle.reoptimize(&batch);
+        victim.inject_fault(reopt_datalog::FaultPlan::with_shots(2, 2));
+        let got = victim.reoptimize(&batch);
+        assert_eq!(got.recovery.path, RecoveryPath::RebuiltFromScratch);
+        assert_eq!(got.recovery.errors.len(), 2);
+        assert!(got.cost.approx_eq(want.cost));
+        assert_eq!(got.plan, want.plan);
+        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+            assert_eq!(counted(victim.sink(name)), counted(oracle.sink(name)), "{name}");
+        }
+        // The rebuilt instance is fully serviceable: further updates and
+        // a full audit behave as if the faults never happened.
+        let b2 = vec![ParamDelta::LeafScanCost(LeafId(0), 4.0)];
+        let got2 = victim.reoptimize(&b2);
+        let want2 = oracle.reoptimize(&b2);
+        assert_eq!(got2.recovery.path, RecoveryPath::Committed);
+        assert!(got2.cost.approx_eq(want2.cost));
+        victim.audit().expect("rebuilt state passes the audit");
+    }
+
+    #[test]
+    fn budget_starvation_degrades_to_a_rebuild_with_default_budget() {
+        // A budget so tight even the ×4 retry overruns: the rebuild
+        // comes up with the compiled default and converges.
+        let c = fixture_catalog();
+        let q = chain_query(&c, 4);
+        let mut oracle = DataflowOptimizer::new(&c, q.clone());
+        oracle.optimize();
+        let mut victim = DataflowOptimizer::new(&c, q.clone());
+        victim.optimize();
+        let batch = vec![ParamDelta::EdgeSelectivity(EdgeId(0), 9.0)];
+        let want = oracle.reoptimize(&batch);
+        victim.set_max_steps(1);
+        let got = victim.reoptimize(&batch);
+        assert_eq!(got.recovery.path, RecoveryPath::RebuiltFromScratch);
+        assert!(got
+            .recovery
+            .errors
+            .iter()
+            .all(|e| matches!(e, DataflowError::FixpointOverrun { .. })));
+        assert!(got.cost.approx_eq(want.cost));
+        assert_eq!(got.plan, want.plan);
+    }
+
+    #[test]
+    fn audit_passes_on_every_fixture_and_epoch() {
+        let c = fixture_catalog();
+        for q in fixture_queries() {
+            let mut df = DataflowOptimizer::new(&c, q.clone());
+            df.set_audit_mode(AuditMode::Every(1));
+            let init = df.optimize();
+            assert_eq!(init.recovery.audit, AuditOutcome::Passed, "{}", q.name);
+            assert!(init.recovery.is_clean());
+            let re = df.reoptimize(&[ParamDelta::LeafCardinality(LeafId(0), 3.0)]);
+            assert_eq!(re.recovery.audit, AuditOutcome::Passed, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn audit_catches_a_torn_local_cost_mirror() {
+        // Hand-corrupt the mirror behind the network's back: the audit
+        // must flag the divergence instead of silently drifting.
+        let c = fixture_catalog();
+        let q = chain_query(&c, 3);
+        let mut df = DataflowOptimizer::new(&c, q);
+        df.optimize();
+        df.local[0] = Cost::new(12345.0);
+        let err = df.audit().expect_err("torn mirror must fail the audit");
+        match err {
+            DataflowError::InvariantViolation(m) => {
+                assert!(m.contains("LocalCost mirror"), "{m}")
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_sampling_respects_the_period() {
+        let c = fixture_catalog();
+        let q = chain_query(&c, 3);
+        let mut df = DataflowOptimizer::new(&c, q);
+        df.set_audit_mode(AuditMode::Every(2));
+        // Epochs are 1-based: epoch 1 is off-sample, epoch 2 audits.
+        let first = df.optimize();
+        assert_eq!(first.recovery.audit, AuditOutcome::NotSampled);
+        let second = df.reoptimize(&[ParamDelta::LeafScanCost(LeafId(0), 2.0)]);
+        assert_eq!(second.recovery.audit, AuditOutcome::Passed);
     }
 
     #[test]

@@ -13,10 +13,11 @@
 
 use proptest::prelude::*;
 
-use reopt_bridge::DataflowOptimizer;
+use reopt_bridge::{AuditMode, AuditOutcome, DataflowOptimizer, DataflowOutcome};
 use reopt_catalog::{Catalog, ColumnStats, TableBuilder, TableStats};
 use reopt_core::{IncrementalOptimizer, PruningConfig};
 use reopt_cost::{CostContext, ParamDelta};
+use reopt_datalog::{FaultPlan, Multiset, Tuple};
 use reopt_expr::{EdgeId, LeafId, QuerySpec};
 
 /// Deterministic description of a random query instance (same shape as
@@ -104,6 +105,23 @@ fn deltas_for(q: &QuerySpec, raw: &[(u8, u8, u8)], increase_only: bool) -> Vec<P
         .collect()
 }
 
+/// Fails if the outcome's sampled audit flagged drift. With `REOPT_AUDIT`
+/// unset the audit never runs (`NotSampled`) and this is vacuous; CI runs
+/// this suite once with `REOPT_AUDIT=1` so every epoch is cross-checked.
+fn audit_ok(out: &DataflowOutcome) -> Result<(), String> {
+    match &out.recovery.audit {
+        AuditOutcome::Failed(e) => Err(format!("audit failed: {e}")),
+        _ => Ok(()),
+    }
+}
+
+/// A sink's contents with multiplicities, sorted for comparison.
+fn sink_sorted(sink: &Multiset) -> Vec<(Tuple, i64)> {
+    let mut v: Vec<(Tuple, i64)> = sink.iter().map(|(t, c)| (t.clone(), c)).collect();
+    v.sort();
+    v
+}
+
 /// Replays a delta sequence step by step with fresh engines, checking
 /// `BestPlan` equivalence after *every* step: both engines' best costs
 /// must agree, and the dataflow's extracted plan must re-price to that
@@ -113,13 +131,14 @@ fn check_stepwise(c: &Catalog, q: &QuerySpec, seq: &[(u8, u8, u8)]) -> Result<()
     let mut df = DataflowOptimizer::new(c, q.clone());
     let mut hand = IncrementalOptimizer::new(c, q.clone(), PruningConfig::none());
     let mut pricer = CostContext::new(c, q);
-    df.optimize();
+    audit_ok(&df.optimize()).map_err(|e| format!("initial: {e}"))?;
     hand.optimize();
     for (i, raw) in seq.iter().enumerate() {
         let deltas = deltas_for(q, std::slice::from_ref(raw), false);
         let got = df.reoptimize(&deltas);
         let want = hand.reoptimize(&deltas);
         pricer.apply(&deltas);
+        audit_ok(&got).map_err(|e| format!("step {i} ({deltas:?}): {e}"))?;
         if !got.cost.approx_eq(want.cost) {
             return Err(format!(
                 "step {i} ({deltas:?}): dataflow {:?} vs hand-rolled {:?}",
@@ -259,6 +278,65 @@ proptest! {
                 }
             }
             prop_assert!(false, "full sequence failed, no prefix did: {failure}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Chaos: a fault armed at a random step of a random delta sequence
+    /// on a random query. The optimizer must absorb it internally
+    /// (rollback → budget-raised retry → from-scratch rebuild) and stay
+    /// byte-identical to a fault-free oracle — best cost, extracted
+    /// plan, and every materialized sink, counts included — with zero
+    /// residual negative counts. `shots` = 2 kills the retry too and
+    /// drives the rebuild rung.
+    #[test]
+    fn faulted_reoptimization_matches_the_fault_free_oracle(
+        gen in query_gen(5),
+        seq in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+        fault_run in any::<u8>(),
+        fault_step in 1u64..60,
+        shots in 1u32..3,
+    ) {
+        let (c, q) = build(&gen);
+        let mut oracle = DataflowOptimizer::new(&c, q.clone());
+        let mut victim = DataflowOptimizer::new(&c, q.clone());
+        // Audits off: chaos measures recovery, not the (much slower)
+        // shadow cross-check, and `REOPT_AUDIT` must not leak in.
+        oracle.set_audit_mode(AuditMode::Off);
+        victim.set_audit_mode(AuditMode::Off);
+        oracle.optimize();
+        victim.optimize();
+        let fault_at = fault_run as usize % seq.len();
+        for (i, raw) in seq.iter().enumerate() {
+            let deltas = deltas_for(&q, std::slice::from_ref(raw), false);
+            if i == fault_at {
+                victim.inject_fault(FaultPlan::with_shots(fault_step, shots));
+            }
+            let want = oracle.reoptimize(&deltas);
+            let got = victim.reoptimize(&deltas);
+            prop_assert!(
+                got.cost.approx_eq(want.cost),
+                "step {i} ({deltas:?}), {} absorbed ({:?}): victim {:?} vs oracle {:?}",
+                got.recovery.errors.len(), got.recovery.path, got.cost, want.cost
+            );
+            prop_assert_eq!(
+                &got.plan, &want.plan,
+                "step {} : recovered BestPlan diverged ({:?})", i, got.recovery.path
+            );
+        }
+        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+            prop_assert!(
+                !victim.sink(name).has_negative_counts(),
+                "residual negative counts in {name} after recovery"
+            );
+            prop_assert_eq!(
+                sink_sorted(victim.sink(name)),
+                sink_sorted(oracle.sink(name)),
+                "sink {} diverged from the fault-free oracle", name
+            );
         }
     }
 }

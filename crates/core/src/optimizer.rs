@@ -723,6 +723,18 @@ impl IncrementalOptimizer {
         &self.alts[a.0 as usize]
     }
 
+    // Corruption hooks for the invariant-checker tests: hand-damaging
+    // converged state is the only way to prove each check can fire.
+    #[cfg(test)]
+    pub(crate) fn group_state_mut(&mut self, g: GroupId) -> &mut GroupState {
+        &mut self.groups[g.0 as usize]
+    }
+
+    #[cfg(test)]
+    pub(crate) fn alt_state_mut(&mut self, a: AltId) -> &mut AltState {
+        &mut self.alts[a.0 as usize]
+    }
+
     /// Recomputes an alternative's local cost from the cost context
     /// (invariant checking).
     pub(crate) fn recompute_local(

@@ -213,3 +213,154 @@ impl IncrementalOptimizer {
         }
     }
 }
+
+/// Each invariant checker must actually be able to fire: converge a
+/// fixpoint, hand-corrupt exactly one piece of state, and assert the
+/// checker reports that corruption (and nothing masked it). These are
+/// the same checks the bridge's audit mode surfaces as
+/// `DataflowError::InvariantViolation`.
+#[cfg(test)]
+mod tests {
+    use reopt_common::Cost;
+
+    use crate::fixtures::{chain_query, fixture_catalog};
+    use crate::memo::{AltId, GroupId};
+    use crate::optimizer::IncrementalOptimizer;
+    use crate::PruningConfig;
+
+    fn converged(cfg: PruningConfig) -> IncrementalOptimizer {
+        let c = fixture_catalog();
+        let q = chain_query(&c, 4);
+        let mut o = IncrementalOptimizer::new(&c, q, cfg);
+        o.optimize();
+        o.check_invariants()
+            .expect("clean fixpoint before corruption");
+        o
+    }
+
+    #[test]
+    fn clean_fixpoints_pass_under_every_config() {
+        for cfg in [
+            PruningConfig::none(),
+            PruningConfig::evita_raced(),
+            PruningConfig::aggsel(),
+            PruningConfig::aggsel_refcount(),
+            PruningConfig::aggsel_bounding(),
+            PruningConfig::all(),
+            PruningConfig::all_strict(),
+        ] {
+            converged(cfg);
+        }
+    }
+
+    #[test]
+    fn corrupted_refcount_is_caught() {
+        let mut o = converged(PruningConfig::aggsel());
+        o.group_state_mut(GroupId(0)).refs += 1;
+        let msg = o.check_invariants().unwrap_err();
+        assert!(msg.contains("refcount mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn stale_local_cost_is_caught() {
+        let mut o = converged(PruningConfig::none());
+        let bad = o.alt_state(AltId(0)).local + Cost::new(1.0);
+        o.alt_state_mut(AltId(0)).local = bad;
+        let msg = o.check_invariants().unwrap_err();
+        assert!(msg.contains("stale local cost"), "{msg}");
+    }
+
+    #[test]
+    fn stale_total_is_caught() {
+        let mut o = converged(PruningConfig::none());
+        let bad = o.alt_state(AltId(0)).total + Cost::new(1.0);
+        o.alt_state_mut(AltId(0)).total = bad;
+        let msg = o.check_invariants().unwrap_err();
+        assert!(msg.contains("stale total"), "{msg}");
+    }
+
+    #[test]
+    fn corrupted_group_best_is_caught() {
+        let mut o = converged(PruningConfig::none());
+        // The root is nobody's child, so only its own check can fire.
+        let root = o.memo().root;
+        let bad = o.group_state(root).best + Cost::new(1.0);
+        o.group_state_mut(root).best = bad;
+        let msg = o.check_invariants().unwrap_err();
+        assert!(msg.contains("best mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn corrupted_alt_liveness_is_caught() {
+        // Aggregate selection without source suppression: liveness is
+        // checked but never feeds the refcount recompute, so flipping a
+        // childless (leaf) alternative trips exactly one checker.
+        let mut o = converged(PruningConfig::evita_raced());
+        let victim = (0..o.memo().n_groups() as u32)
+            .flat_map(|gi| o.memo().alts_of(GroupId(gi)).collect::<Vec<_>>())
+            .find(|&a| o.memo().alt(a).children().next().is_none() && o.alt_state(a).live)
+            .expect("fixture has a live scan alternative");
+        o.alt_state_mut(victim).live = false;
+        let msg = o.check_invariants().unwrap_err();
+        assert!(msg.contains("liveness mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn live_frozen_alternative_is_caught() {
+        // Killing a group freezes every parent alternative referencing
+        // it; a parent left live must be reported.
+        let mut o = converged(PruningConfig::evita_raced());
+        let victim = (0..o.memo().n_groups() as u32)
+            .map(GroupId)
+            .find(|&g| {
+                g != o.memo().root
+                    && o.memo()
+                        .parents_of(g)
+                        .iter()
+                        .any(|&pa| o.alt_state(pa).live)
+            })
+            .expect("fixture has a referenced group with a live parent");
+        o.group_state_mut(victim).live = false;
+        let msg = o.check_invariants().unwrap_err();
+        assert!(msg.contains("frozen alternative"), "{msg}");
+    }
+
+    #[test]
+    fn corrupted_mpb_is_caught() {
+        let mut o = converged(PruningConfig::aggsel_bounding());
+        let victim = (0..o.memo().n_groups() as u32)
+            .map(GroupId)
+            .find(|&g| g != o.memo().root && o.group_state(g).live)
+            .expect("fixture has a live non-root group");
+        let cur = o.group_state(victim).mpb;
+        o.group_state_mut(victim).mpb = if cur == Cost::INFINITY {
+            Cost::new(7.0)
+        } else {
+            Cost::INFINITY
+        };
+        let msg = o.check_invariants().unwrap_err();
+        assert!(msg.contains("mpb mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn corrupted_bound_is_caught() {
+        // A leaf group's bound constrains no other group's mpb, and if
+        // all its alternatives are live, *raising* the bound cannot flip
+        // a liveness verdict — so only the bound check can fire.
+        let mut o = converged(PruningConfig::aggsel_bounding());
+        let victim = (0..o.memo().n_groups() as u32)
+            .map(GroupId)
+            .find(|&g| {
+                o.group_state(g).live
+                    && o.group_state(g).bound != Cost::INFINITY
+                    && o.memo().alts_of(g).collect::<Vec<_>>().iter().all(|&a| {
+                        o.alt_state(a).live && o.memo().alt(a).children().next().is_none()
+                    })
+            })
+            .expect("fixture has a fully-live leaf group with a finite bound");
+        let bad = o.group_state(victim).bound + Cost::new(1000.0);
+        o.group_state_mut(victim).bound = bad;
+        let msg = o.check_invariants().unwrap_err();
+        assert!(msg.contains("bound mismatch"), "{msg}");
+    }
+}

@@ -24,11 +24,11 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::fmt;
 
 use reopt_common::FxHashMap;
 
 use crate::delta::{coalesce, CoalesceScratch, Delta};
+use crate::error::{DataflowError, FaultPlan};
 use crate::ops::{Fused, Operator};
 use crate::relation::Multiset;
 use crate::value::Tuple;
@@ -158,6 +158,39 @@ impl Queue {
         matches!(self, Queue::Batched { .. })
     }
 
+    /// Snapshots the queued-but-unprocessed work at epoch open — exactly
+    /// the external deltas pushed since the last run. Restoring it after
+    /// a rollback makes a retry replay the same externals against the
+    /// last committed state.
+    fn checkpoint(&self) -> QueueCheckpoint {
+        match self {
+            Queue::Batched { order, pending, .. } => QueueCheckpoint::Batched {
+                order: order.clone(),
+                pending: pending.clone(),
+            },
+            Queue::PerDelta(q) => QueueCheckpoint::PerDelta(q.clone()),
+        }
+    }
+
+    /// Replaces the queue contents with a checkpoint (the batch pool is
+    /// kept — it holds no live deltas).
+    fn restore(&mut self, cp: QueueCheckpoint) {
+        match (self, cp) {
+            (
+                Queue::Batched { order, pending, .. },
+                QueueCheckpoint::Batched {
+                    order: o,
+                    pending: p,
+                },
+            ) => {
+                *order = o;
+                *pending = p;
+            }
+            (Queue::PerDelta(q), QueueCheckpoint::PerDelta(cq)) => *q = cq,
+            _ => unreachable!("checkpoint mode matches queue mode"),
+        }
+    }
+
     /// Returns a spent batch buffer to the pool.
     fn recycle(&mut self, mut batch: Vec<Delta>) {
         if let Queue::Batched { pool, .. } = self {
@@ -169,15 +202,24 @@ impl Queue {
     }
 }
 
+/// The queue state captured at epoch open (see [`Queue::checkpoint`]).
+enum QueueCheckpoint {
+    Batched {
+        order: BinaryHeap<Reverse<(u32, usize, usize)>>,
+        pending: FxHashMap<(usize, usize), Vec<Delta>>,
+    },
+    PerDelta(VecDeque<(usize, usize, Delta)>),
+}
+
 /// Execution statistics for one fixpoint run.
 ///
 /// Lifecycle: every successful [`Dataflow::run`] reports exactly the
 /// work performed by that call — the scheduler tallies are locals and
 /// the per-operator counters ([`crate::ops::OpCounters`]) are drained
-/// into the result at the end of the run. If a run fails with
-/// [`FixpointOverrun`], counters already accumulated inside operators
-/// are discarded at the start of the *next* run, so an errored run can
-/// never inflate a later run's statistics.
+/// into the result at the end of the run. If a run fails (any
+/// [`DataflowError`]), the rollback discards the counters operators
+/// accumulated during the aborted epoch, so an errored run can never
+/// inflate a later run's statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Individual deltas dequeued and processed (post-coalescing).
@@ -195,23 +237,13 @@ pub struct RunStats {
     /// Operator hops that fused chains absorbed (per batch, the number
     /// of constituent stages beyond the first).
     pub fused_stages_saved: u64,
+    /// The committed-epoch number this run produced (1-based, counting
+    /// only successful runs over the dataflow's lifetime).
+    pub epoch: u64,
+    /// Total epochs rolled back over the dataflow's lifetime (failed
+    /// runs preceding this successful one).
+    pub rollbacks: u64,
 }
-
-/// Error: the fixpoint did not converge within the step budget (a
-/// non-terminating recursion, e.g. counting-based deletion over cyclic
-/// derivations).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct FixpointOverrun {
-    pub steps: u64,
-}
-
-impl fmt::Display for FixpointOverrun {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fixpoint did not converge within {} steps", self.steps)
-    }
-}
-
-impl std::error::Error for FixpointOverrun {}
 
 /// A (possibly cyclic) dataflow of delta-processing operators.
 pub struct Dataflow {
@@ -232,9 +264,12 @@ pub struct Dataflow {
     ranks: Vec<u32>,
     /// Set by graph mutations; cleared by [`Dataflow::ensure_ranks`].
     ranks_dirty: bool,
-    /// A prior run errored: its operators hold counters for work that
-    /// was already attributed to (and reported lost with) that run.
-    stale_counters: bool,
+    /// Committed epochs (successful runs) so far.
+    epoch: u64,
+    /// Epochs rolled back (failed runs) so far.
+    rollbacks: u64,
+    /// Armed chaos-testing fault injector (see [`FaultPlan`]).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Dataflow {
@@ -262,7 +297,9 @@ impl Dataflow {
             graph_dirty: false,
             ranks: Vec::new(),
             ranks_dirty: false,
-            stale_counters: false,
+            epoch: 0,
+            rollbacks: 0,
+            fault_plan: None,
         }
     }
 
@@ -276,6 +313,29 @@ impl Dataflow {
     /// Overrides the non-termination guard.
     pub fn set_max_steps(&mut self, max: u64) {
         self.max_steps = max;
+    }
+
+    /// The current non-termination guard.
+    pub fn max_steps(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// Arms (or with `None` disarms) a deterministic fault injector:
+    /// the next run(s) fail with [`DataflowError::InjectedFault`] when
+    /// the plan's trigger step is reached. The failed epoch rolls back
+    /// exactly like any other error.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Committed epochs (successful runs) so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epochs rolled back (failed runs) so far.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
     }
 
     /// Declares an external input relation.
@@ -310,19 +370,34 @@ impl Dataflow {
     }
 
     /// Wires `from`'s output into `to`'s input `port`. Cycles are
-    /// allowed.
-    pub fn connect(&mut self, from: NodeId, to: NodeId, port: usize) {
+    /// allowed. Fails with [`DataflowError::InvalidWiring`] if either
+    /// endpoint was absorbed into a fused chain.
+    pub fn try_connect(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        port: usize,
+    ) -> Result<(), DataflowError> {
         for id in [from, to] {
-            assert!(
-                !matches!(self.nodes[id.0].kind, NodeKind::Fused),
-                "node `{}` was absorbed into a fused chain; wire the graph before \
-                 running, or disable fusion with `set_fusion(false)`",
-                self.nodes[id.0].label
-            );
+            if matches!(self.nodes[id.0].kind, NodeKind::Fused) {
+                return Err(DataflowError::InvalidWiring(format!(
+                    "node `{}` was absorbed into a fused chain; wire the graph before \
+                     running, or disable fusion with `set_fusion(false)`",
+                    self.nodes[id.0].label
+                )));
+            }
         }
         self.graph_dirty = true;
         self.ranks_dirty = true;
         self.nodes[from.0].downstream.push((to.0, port));
+        Ok(())
+    }
+
+    /// Panicking convenience over [`Dataflow::try_connect`] (tests,
+    /// hand-built graphs).
+    pub fn connect(&mut self, from: NodeId, to: NodeId, port: usize) {
+        self.try_connect(from, to, port)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Adds a materialization sink reading `from`.
@@ -347,16 +422,24 @@ impl Dataflow {
     }
 
     /// Queues a delta on an input relation (processed by the next
-    /// [`Dataflow::run`]).
-    pub fn push(&mut self, input: NodeId, delta: Delta) {
-        assert!(
-            matches!(self.nodes[input.0].kind, NodeKind::Input),
-            "push target `{}` is not an input",
-            self.nodes[input.0].label
-        );
+    /// [`Dataflow::run`]). Fails with [`DataflowError::InvalidWiring`]
+    /// if the target is not an input node.
+    pub fn try_push(&mut self, input: NodeId, delta: Delta) -> Result<(), DataflowError> {
+        if !matches!(self.nodes[input.0].kind, NodeKind::Input) {
+            return Err(DataflowError::InvalidWiring(format!(
+                "push target `{}` is not an input",
+                self.nodes[input.0].label
+            )));
+        }
         self.ensure_ranks();
         let rank = self.ranks[input.0];
         self.queue.push(rank, input.0, 0, std::iter::once(delta));
+        Ok(())
+    }
+
+    /// Panicking convenience over [`Dataflow::try_push`].
+    pub fn push(&mut self, input: NodeId, delta: Delta) {
+        self.try_push(input, delta).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Recomputes topological service ranks if the graph changed:
@@ -527,27 +610,105 @@ impl Dataflow {
             .count()
     }
 
-    /// Runs to fixpoint (empty queue).
-    pub fn run(&mut self) -> Result<RunStats, FixpointOverrun> {
+    /// Runs to fixpoint (empty queue) as one **epoch**: on success the
+    /// state changes commit; on any [`DataflowError`] every stateful
+    /// operator and sink rolls back to the last committed fixpoint and
+    /// the input queue is restored to its pre-run contents, so the
+    /// caller can simply re-run (optionally with a raised budget or the
+    /// fault cause removed) and lose nothing.
+    pub fn run(&mut self) -> Result<RunStats, DataflowError> {
         let batched = self.queue.is_batched();
         if batched && self.fusion && self.graph_dirty {
             self.fuse();
         }
         self.ensure_ranks();
-        if self.stale_counters {
-            // A prior run errored: its operators' counters describe work
-            // attributed to that failed call; drop them so this run's
-            // stats cover only this run.
-            self.stale_counters = false;
-            for node in &mut self.nodes {
-                if let NodeKind::Op(op) = &mut node.kind {
-                    op.take_counters();
+        let checkpoint = self.queue.checkpoint();
+        self.begin_epoch();
+        let mut stats = RunStats::default();
+        match self.fixpoint(batched, &mut stats) {
+            Ok(()) => {
+                self.commit_epoch();
+                self.epoch += 1;
+                stats.epoch = self.epoch;
+                stats.rollbacks = self.rollbacks;
+                for node in &mut self.nodes {
+                    if let NodeKind::Op(op) = &mut node.kind {
+                        let c = op.take_counters();
+                        stats.join_probe_deltas += c.join_probe_deltas;
+                        stats.join_probes += c.join_probes;
+                        stats.fused_stages_saved += c.fused_stages_saved;
+                    }
                 }
+                Ok(stats)
+            }
+            Err(e) => {
+                self.rollback_epoch(checkpoint);
+                Err(e)
             }
         }
-        let mut stats = RunStats::default();
+    }
+
+    /// Opens an epoch on every stateful operator and sink.
+    fn begin_epoch(&mut self) {
+        for node in &mut self.nodes {
+            if let NodeKind::Op(op) = &mut node.kind {
+                op.begin_epoch();
+            }
+        }
+        for sink in &mut self.sinks {
+            sink.begin_epoch();
+        }
+    }
+
+    /// Commits the open epoch everywhere (undo logs discarded).
+    fn commit_epoch(&mut self) {
+        for node in &mut self.nodes {
+            if let NodeKind::Op(op) = &mut node.kind {
+                op.commit_epoch();
+            }
+        }
+        for sink in &mut self.sinks {
+            sink.commit_epoch();
+        }
+    }
+
+    /// Rolls the open epoch back everywhere: operator and sink state
+    /// returns to the last committed fixpoint, counters accumulated
+    /// during the aborted epoch are discarded, and the queue is
+    /// restored to the pre-run checkpoint.
+    fn rollback_epoch(&mut self, checkpoint: QueueCheckpoint) {
+        for node in &mut self.nodes {
+            if let NodeKind::Op(op) = &mut node.kind {
+                op.rollback_epoch();
+                op.take_counters();
+            }
+        }
+        for sink in &mut self.sinks {
+            sink.rollback_epoch();
+        }
+        self.queue.restore(checkpoint);
+        self.rollbacks += 1;
+    }
+
+    /// Checks the armed fault plan at `step` processed deltas.
+    fn check_fault(&mut self, step: u64) -> Result<(), DataflowError> {
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if plan.fire(step) {
+                return Err(DataflowError::InjectedFault { step });
+            }
+        }
+        Ok(())
+    }
+
+    /// The fixpoint loop proper. Any error leaves partially-applied
+    /// operator state behind — the caller ([`Dataflow::run`]) rolls the
+    /// epoch back before surfacing it.
+    fn fixpoint(&mut self, batched: bool, stats: &mut RunStats) -> Result<(), DataflowError> {
         let mut out: Vec<Delta> = Vec::new();
         let mut chain: Vec<Delta> = Vec::new();
+        // Armed-ness cannot change mid-run; a local flag keeps the
+        // disarmed hot path to one predictable branch per batch.
+        let armed = self.fault_plan.is_some();
         while let Some((node, port, mut batch)) = self.queue.pop() {
             if batched && self.nodes[node].coalesce_input {
                 coalesce(&mut batch, &mut self.scratch);
@@ -559,14 +720,12 @@ impl Dataflow {
             stats.batches_processed += 1;
             stats.deltas_processed += batch.len() as u64;
             if stats.deltas_processed > self.max_steps {
-                // Put the undelivered batch back so raising the budget
-                // and re-running loses nothing.
-                let rank = self.ranks.get(node).copied().unwrap_or(0);
-                self.queue.push(rank, node, port, batch.drain(..));
-                self.stale_counters = true;
-                return Err(FixpointOverrun {
+                return Err(DataflowError::FixpointOverrun {
                     steps: self.max_steps,
                 });
+            }
+            if armed {
+                self.check_fault(stats.deltas_processed)?;
             }
             out.clear();
             match &mut self.nodes[node].kind {
@@ -577,7 +736,7 @@ impl Dataflow {
                     assert!(port < op.arity(), "port {port} out of range");
                     out.append(&mut batch);
                 }
-                NodeKind::Op(op) => op.on_batch(port, &batch, &mut out),
+                NodeKind::Op(op) => op.on_batch(port, &batch, &mut out)?,
                 NodeKind::Sink(idx) => {
                     let sink = &mut self.sinks[*idx];
                     for d in &batch {
@@ -594,20 +753,9 @@ impl Dataflow {
                 }
             }
             self.queue.recycle(batch);
-            if let Err(e) = self.dispatch(node, &mut out, &mut chain, &mut stats) {
-                self.stale_counters = true;
-                return Err(e);
-            }
+            self.dispatch(node, &mut out, &mut chain, stats, armed)?;
         }
-        for node in &mut self.nodes {
-            if let NodeKind::Op(op) = &mut node.kind {
-                let c = op.take_counters();
-                stats.join_probe_deltas += c.join_probe_deltas;
-                stats.join_probes += c.join_probes;
-                stats.fused_stages_saved += c.fused_stages_saved;
-            }
-        }
-        Ok(stats)
+        Ok(())
     }
 
     /// Routes an output batch downstream. Sinks absorb it in place (they
@@ -623,7 +771,8 @@ impl Dataflow {
         out: &mut Vec<Delta>,
         chain: &mut Vec<Delta>,
         stats: &mut RunStats,
-    ) -> Result<(), FixpointOverrun> {
+        armed: bool,
+    ) -> Result<(), DataflowError> {
         let mut node = from;
         loop {
             if out.is_empty() {
@@ -653,20 +802,31 @@ impl Dataflow {
                         stats.batches_processed += 1;
                         stats.deltas_processed += out.len() as u64;
                         if stats.deltas_processed > self.max_steps {
-                            // Park the in-flight deltas at the chained
-                            // consumer instead of dropping them.
-                            let rank = self.ranks.get(target).copied().unwrap_or(0);
-                            self.queue.push(rank, target, tport, out.drain(..));
+                            // Restore the taken edge list before
+                            // aborting — rollback rewinds state, not
+                            // graph structure.
                             self.nodes[node].downstream = downstream;
-                            return Err(FixpointOverrun {
+                            return Err(DataflowError::FixpointOverrun {
                                 steps: self.max_steps,
                             });
+                        }
+                        if armed {
+                            let step = stats.deltas_processed;
+                            if let Some(plan) = self.fault_plan.as_mut() {
+                                if plan.fire(step) {
+                                    self.nodes[node].downstream = downstream;
+                                    return Err(DataflowError::InjectedFault { step });
+                                }
+                            }
                         }
                         if op.is_passthrough() {
                             assert!(tport < op.arity(), "port {tport} out of range");
                         } else {
                             chain.clear();
-                            op.on_batch(tport, out, chain);
+                            if let Err(e) = op.on_batch(tport, out, chain) {
+                                self.nodes[node].downstream = downstream;
+                                return Err(e);
+                            }
                             std::mem::swap(out, chain);
                         }
                         self.nodes[node].downstream = downstream;
@@ -934,31 +1094,128 @@ mod tests {
         assert!(stats.join_probes >= 1);
         // An empty follow-up run reports no counters: nothing leaked
         // out of the operators from the previous run.
-        assert_eq!(df.run().unwrap(), RunStats::default());
+        let expected = RunStats {
+            epoch: 2,
+            ..RunStats::default()
+        };
+        assert_eq!(df.run().unwrap(), expected);
     }
 
     #[test]
-    fn errored_run_counters_do_not_leak_into_the_next_run() {
+    fn errored_run_rolls_back_and_counters_do_not_leak() {
         let (mut df, l, r, sink) = join_net();
         df.insert(r, ints(&[1, 20]));
         df.run().unwrap();
-        // Budget admits the input and the join (which probes and
-        // emits), but errors before the distinct services its batch:
-        // the join now holds counters for a failed run.
+        // Budget admits the input and the join (which probes, emits and
+        // mutates its index), but errors before the distinct services
+        // its batch: without rollback the join would hold torn state
+        // and counters for a failed run.
         df.set_max_steps(2);
         df.insert(l, ints(&[1, 10]));
-        assert!(df.run().is_err());
-        // Recover and do strictly smaller join work (a keyless tuple).
+        let err = df.run().unwrap_err();
+        assert!(matches!(err, DataflowError::FixpointOverrun { steps: 2 }));
+        // The epoch rolled back: nothing reached the sink, and the
+        // failed run's externals are back in the queue.
+        assert!(df.sink(sink).sorted().is_empty());
+        assert_eq!(df.rollbacks(), 1);
+        // Recover with a raised budget; the checkpointed delta replays
+        // together with the new one against the committed state.
         df.set_max_steps(1_000_000);
         df.insert(l, ints(&[2, 30]));
         let stats = df.run().unwrap();
         assert_eq!(
-            stats.join_probe_deltas, 1,
-            "stale counters from the errored run leaked: {stats:?}"
+            stats.join_probe_deltas, 2,
+            "retry must replay the rolled-back delta exactly once: {stats:?}"
         );
-        assert_eq!(stats.join_probes, 1);
-        // The errored run's surviving queue work still lands.
+        assert_eq!(stats.rollbacks, 1);
         assert_eq!(df.sink(sink).sorted(), vec![ints(&[1, 10, 1, 20])]);
+    }
+
+    /// The satellite regression: overrun → raise budget → re-run
+    /// converges to the same sinks as a never-overrun oracle, on the
+    /// recursive closure network, with fusion both off and on.
+    #[test]
+    fn overrun_retry_matches_never_overrun_oracle() {
+        for fusion in [false, true] {
+            let mk = || {
+                let (mut df, edge, sink) = tc();
+                df.set_fusion(fusion);
+                (df, edge, sink)
+            };
+            let (mut oracle, o_edge, o_sink) = mk();
+            let (mut victim, v_edge, v_sink) = mk();
+            for (a, b) in [(1, 2), (2, 3), (3, 4), (1, 3)] {
+                oracle.insert(o_edge, ints(&[a, b]));
+                victim.insert(v_edge, ints(&[a, b]));
+            }
+            oracle.run().unwrap();
+            // The victim overruns mid-derivation, possibly repeatedly.
+            victim.set_max_steps(3);
+            let err = victim.run().unwrap_err();
+            assert!(
+                matches!(err, DataflowError::FixpointOverrun { .. }),
+                "fusion={fusion}: {err:?}"
+            );
+            victim.set_max_steps(1_000_000);
+            victim.run().unwrap();
+            // A follow-up delta behaves identically on both engines.
+            oracle.delete(o_edge, ints(&[2, 3]));
+            victim.delete(v_edge, ints(&[2, 3]));
+            oracle.run().unwrap();
+            victim.run().unwrap();
+            assert!(!victim.sink(v_sink).has_negative_counts());
+            assert_eq!(
+                oracle.sink(o_sink).sorted(),
+                victim.sink(v_sink).sorted(),
+                "fusion={fusion}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_fault_rolls_back_and_rerun_recovers() {
+        let (mut df, edge, sink) = tc();
+        df.insert(edge, ints(&[1, 2]));
+        df.insert(edge, ints(&[2, 3]));
+        df.run().unwrap();
+        let committed = df.sink(sink).sorted();
+        df.insert(edge, ints(&[3, 4]));
+        df.set_fault_plan(Some(FaultPlan::one_shot(2)));
+        let err = df.run().unwrap_err();
+        assert!(matches!(err, DataflowError::InjectedFault { .. }));
+        assert_eq!(df.sink(sink).sorted(), committed, "rollback left torn state");
+        // The plan is spent: an immediate re-run succeeds and converges.
+        let stats = df.run().unwrap();
+        assert_eq!(stats.rollbacks, 1);
+        assert_eq!(df.sink(sink).len(), 6);
+    }
+
+    #[test]
+    fn epoch_counters_track_commits_and_rollbacks() {
+        let (mut df, edge, _sink) = tc();
+        assert_eq!(df.epoch(), 0);
+        df.insert(edge, ints(&[1, 2]));
+        let stats = df.run().unwrap();
+        assert_eq!((stats.epoch, stats.rollbacks), (1, 0));
+        df.insert(edge, ints(&[2, 3]));
+        df.set_fault_plan(Some(FaultPlan::one_shot(1)));
+        assert!(df.run().is_err());
+        assert_eq!((df.epoch(), df.rollbacks()), (1, 1));
+        let stats = df.run().unwrap();
+        assert_eq!((stats.epoch, stats.rollbacks), (2, 1));
+    }
+
+    #[test]
+    fn per_delta_mode_rolls_back_too() {
+        let (mut df, edge, sink) = tc_mode(SchedulerMode::PerDelta);
+        df.insert(edge, ints(&[1, 2]));
+        df.run().unwrap();
+        df.insert(edge, ints(&[2, 3]));
+        df.set_fault_plan(Some(FaultPlan::one_shot(2)));
+        assert!(df.run().is_err());
+        assert_eq!(df.sink(sink).sorted(), vec![ints(&[1, 2])]);
+        df.run().unwrap();
+        assert_eq!(df.sink(sink).len(), 3);
     }
 
     #[test]
@@ -1057,5 +1314,25 @@ mod tests {
             df.push(m, Delta::insert(ints(&[1])));
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_variants_return_invalid_wiring_instead_of_panicking() {
+        let mut df = Dataflow::new();
+        let input = df.add_input("r");
+        let a = df.add_op(Map::project(vec![0]), &[input]);
+        let b = df.add_op(Map::project(vec![0]), &[a]);
+        df.add_sink(b);
+        // Pushing to a non-input is a typed error.
+        let err = df.try_push(b, Delta::insert(ints(&[1]))).unwrap_err();
+        assert!(matches!(err, DataflowError::InvalidWiring(_)));
+        // Wiring through a fused-away node is a typed error.
+        assert_eq!(df.fuse(), 1);
+        let c = df.add_op_unwired(Map::project(vec![0]));
+        let err = df.try_connect(b, c, 0).unwrap_err();
+        assert!(matches!(err, DataflowError::InvalidWiring(_)));
+        assert!(err.to_string().contains("fused"));
+        // A well-formed wiring still succeeds through the try API.
+        df.try_connect(input, c, 0).unwrap();
     }
 }

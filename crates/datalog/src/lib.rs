@@ -35,6 +35,7 @@
 pub mod agg;
 pub mod dataflow;
 pub mod delta;
+pub mod error;
 pub mod intern;
 pub mod ops;
 pub mod relation;
@@ -42,6 +43,7 @@ pub mod value;
 
 pub use agg::{AggKind, OrderedMultiset};
 pub use dataflow::{Dataflow, NodeId, RunStats, SchedulerMode, SinkId};
+pub use error::{DataflowError, FaultPlan};
 pub use delta::{coalesce, CoalesceScratch, Delta};
 pub use intern::Sym;
 pub use ops::{

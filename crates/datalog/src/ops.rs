@@ -16,8 +16,9 @@ use reopt_common::FxHashMap;
 
 use crate::agg::{AggKind, OrderedMultiset};
 use crate::delta::Delta;
+use crate::error::DataflowError;
 use crate::relation::{IndexedMultiset, Multiset, Visibility};
-use crate::value::Tuple;
+use crate::value::{Tuple, Val};
 
 /// Per-operator work counters, drained by the scheduler into
 /// [`crate::dataflow::RunStats`] at the end of each fixpoint run.
@@ -54,7 +55,29 @@ pub trait Operator {
     /// output deltas to `out`. The batch is coalesced by the scheduler
     /// (no two deltas share a tuple, no zero counts), but operators must
     /// not rely on that for correctness.
-    fn on_batch(&mut self, port: usize, deltas: &[Delta], out: &mut Vec<Delta>);
+    ///
+    /// An `Err` aborts the epoch: the scheduler rolls every stateful
+    /// operator (including this one — state mutated before the error is
+    /// journaled) back to the last committed fixpoint. Output deltas
+    /// pushed before the error are discarded by the scheduler.
+    fn on_batch(
+        &mut self,
+        port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError>;
+
+    /// Opens an epoch: stateful operators start journaling state
+    /// mutations so [`Operator::rollback_epoch`] can undo them.
+    /// Stateless operators keep the no-op default.
+    fn begin_epoch(&mut self) {}
+
+    /// Commits the open epoch, discarding the undo journal.
+    fn commit_epoch(&mut self) {}
+
+    /// Rolls the open epoch back, restoring the operator's state to
+    /// what it was at [`Operator::begin_epoch`].
+    fn rollback_epoch(&mut self) {}
 
     /// Number of input ports.
     fn arity(&self) -> usize {
@@ -133,7 +156,12 @@ impl Map {
 }
 
 impl Operator for Map {
-    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
         for delta in deltas {
             if delta.count == 0 {
                 continue;
@@ -142,6 +170,7 @@ impl Operator for Map {
                 out.push(Delta::with_count(t, delta.count));
             }
         }
+        Ok(())
     }
 
     fn coalesces_input(&self) -> bool {
@@ -163,8 +192,10 @@ impl Operator for Map {
 }
 
 /// The callback behind an [`ExternalFn`] node: receives one input tuple
-/// and pushes zero or more output tuples into the sink.
-pub type ExternalFnBody = Box<dyn FnMut(&Tuple, &mut dyn FnMut(Tuple))>;
+/// and pushes zero or more output tuples into the sink. Returning `Err`
+/// aborts the epoch (the error string becomes
+/// [`DataflowError::ExternalFn`]).
+pub type ExternalFnBody = Box<dyn FnMut(&Tuple, &mut dyn FnMut(Tuple)) -> Result<(), String>>;
 
 /// Stateless external-function operator — the paper's `Fn_*` predicates
 /// (`Fn_split`, `Fn_scancost`, `Fn_sum`, …) lifted into the dataflow: for
@@ -185,7 +216,19 @@ pub struct ExternalFn {
 impl ExternalFn {
     pub fn new(
         name: impl Into<String>,
-        f: impl FnMut(&Tuple, &mut dyn FnMut(Tuple)) + 'static,
+        mut f: impl FnMut(&Tuple, &mut dyn FnMut(Tuple)) + 'static,
+    ) -> ExternalFn {
+        ExternalFn::try_new(name, move |t, emit| {
+            f(t, emit);
+            Ok(())
+        })
+    }
+
+    /// An external function whose callback can fail; an `Err` aborts
+    /// the epoch as [`DataflowError::ExternalFn`].
+    pub fn try_new(
+        name: impl Into<String>,
+        f: impl FnMut(&Tuple, &mut dyn FnMut(Tuple)) -> Result<(), String> + 'static,
     ) -> ExternalFn {
         ExternalFn {
             name: name.into(),
@@ -195,7 +238,12 @@ impl ExternalFn {
 }
 
 impl Operator for ExternalFn {
-    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
         for delta in deltas {
             if delta.count == 0 {
                 continue;
@@ -203,8 +251,13 @@ impl Operator for ExternalFn {
             let count = delta.count;
             (self.f)(&delta.tuple, &mut |t| {
                 out.push(Delta::with_count(t, count));
-            });
+            })
+            .map_err(|detail| DataflowError::ExternalFn {
+                name: self.name.clone(),
+                detail,
+            })?;
         }
+        Ok(())
     }
 
     fn coalesces_input(&self) -> bool {
@@ -216,7 +269,7 @@ impl Operator for ExternalFn {
     }
 
     fn take_fuse_stages(&mut self) -> Option<Vec<FuseStage>> {
-        let f = std::mem::replace(&mut self.f, Box::new(|_, _| {}));
+        let f = std::mem::replace(&mut self.f, Box::new(|_, _| Ok(())));
         Some(vec![FuseStage::External {
             name: std::mem::take(&mut self.name),
             f,
@@ -280,24 +333,50 @@ impl Fused {
     }
 
     /// Runs `tuple` (with multiplicity `count`) through the remaining
-    /// stages, pushing fully transformed deltas into `out`.
-    fn run_stages(stages: &mut [FuseStage], tuple: Tuple, count: i64, out: &mut Vec<Delta>) {
+    /// stages, pushing fully transformed deltas into `out`. The first
+    /// stage error (from a constituent external function) aborts the
+    /// traversal.
+    fn run_stages(
+        stages: &mut [FuseStage],
+        tuple: Tuple,
+        count: i64,
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
         match stages.split_first_mut() {
-            None => out.push(Delta::with_count(tuple, count)),
-            Some((FuseStage::Map(f), rest)) => {
-                if let Some(t) = f(&tuple) {
-                    Self::run_stages(rest, t, count, out);
-                }
+            None => {
+                out.push(Delta::with_count(tuple, count));
+                Ok(())
             }
-            Some((FuseStage::External { f, .. }, rest)) => {
-                f(&tuple, &mut |t| Self::run_stages(rest, t, count, out));
+            Some((FuseStage::Map(f), rest)) => match f(&tuple) {
+                Some(t) => Self::run_stages(rest, t, count, out),
+                None => Ok(()),
+            },
+            Some((FuseStage::External { name, f }, rest)) => {
+                // The emit callback can't return a Result, so a nested
+                // stage error is parked and re-raised after the call.
+                let mut nested = Ok(());
+                f(&tuple, &mut |t| {
+                    if nested.is_ok() {
+                        nested = Self::run_stages(rest, t, count, out);
+                    }
+                })
+                .map_err(|detail| DataflowError::ExternalFn {
+                    name: name.clone(),
+                    detail,
+                })?;
+                nested
             }
         }
     }
 }
 
 impl Operator for Fused {
-    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
         // A drained chain (`take_fuse_stages`) must not masquerade as
         // an identity operator.
         assert!(!self.stages.is_empty(), "fused chain `{}` was drained", self.label);
@@ -305,11 +384,12 @@ impl Operator for Fused {
             if delta.count == 0 {
                 continue;
             }
-            Self::run_stages(&mut self.stages, delta.tuple.clone(), delta.count, out);
+            Self::run_stages(&mut self.stages, delta.tuple.clone(), delta.count, out)?;
         }
         // Every batch through the chain is (stages − 1) dispatches that
         // no longer happen.
         self.counters.fused_stages_saved += self.stages.len() as u64 - 1;
+        Ok(())
     }
 
     fn coalesces_input(&self) -> bool {
@@ -533,7 +613,12 @@ fn probe_batch(
 }
 
 impl Operator for HashJoin {
-    fn on_batch(&mut self, port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+    fn on_batch(
+        &mut self,
+        port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
         match port {
             0 => probe_batch(
                 &mut self.left,
@@ -559,10 +644,26 @@ impl Operator for HashJoin {
             ),
             p => panic!("join has 2 ports, got {p}"),
         }
+        Ok(())
     }
 
     fn arity(&self) -> usize {
         2
+    }
+
+    fn begin_epoch(&mut self) {
+        self.left.begin_epoch();
+        self.right.begin_epoch();
+    }
+
+    fn commit_epoch(&mut self) {
+        self.left.commit_epoch();
+        self.right.commit_epoch();
+    }
+
+    fn rollback_epoch(&mut self) {
+        self.left.rollback_epoch();
+        self.right.rollback_epoch();
     }
 
     fn take_counters(&mut self) -> OpCounters {
@@ -593,6 +694,13 @@ pub struct GroupAgg {
     /// Batch generation, stamped into each touched group — the
     /// first-touch test is a field compare instead of a second map.
     generation: u64,
+    /// Undo log for the open epoch: `(group key, value, count)` per
+    /// state update. Only populated while `recording`.
+    journal: Vec<(Tuple, Val, i64)>,
+    recording: bool,
+    /// Nothing pre-existed at `begin_epoch`: rollback is truncation,
+    /// per-delta journaling is skipped.
+    was_empty: bool,
 }
 
 /// One group's state plus its per-batch bookkeeping (the aggregate
@@ -613,6 +721,9 @@ impl GroupAgg {
             groups: FxHashMap::default(),
             touched: Vec::new(),
             generation: 0,
+            journal: Vec::new(),
+            recording: false,
+            was_empty: false,
         }
     }
 
@@ -624,7 +735,12 @@ impl GroupAgg {
 }
 
 impl Operator for GroupAgg {
-    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
         self.touched.clear();
         self.generation += 1;
         for delta in deltas {
@@ -633,6 +749,9 @@ impl Operator for GroupAgg {
             }
             let key = delta.tuple.project(&self.key_cols);
             let value = delta.tuple.get(self.value_col);
+            if self.recording {
+                self.journal.push((key.clone(), value, delta.count));
+            }
             let group = self.groups.entry(key.clone()).or_insert_with(|| Group {
                 state: OrderedMultiset::new(),
                 stamp: 0,
@@ -658,6 +777,40 @@ impl Operator for GroupAgg {
             if let Some(new) = new {
                 out.push(Delta::insert(key.with_appended(new)));
             }
+        }
+        Ok(())
+    }
+
+    fn begin_epoch(&mut self) {
+        self.journal.clear();
+        self.was_empty = self.groups.is_empty();
+        self.recording = !self.was_empty;
+    }
+
+    fn commit_epoch(&mut self) {
+        self.journal.clear();
+        self.recording = false;
+        self.was_empty = false;
+    }
+
+    fn rollback_epoch(&mut self) {
+        self.recording = false;
+        if self.was_empty {
+            self.was_empty = false;
+            self.groups.clear();
+            self.journal.clear();
+            return;
+        }
+        let journal = std::mem::take(&mut self.journal);
+        for (key, value, count) in journal.into_iter().rev() {
+            // Groups created this epoch roll back to empty state; the
+            // entry itself is left behind (an empty OrderedMultiset
+            // aggregates to None, so it is observationally absent).
+            self.groups
+                .get_mut(&key)
+                .expect("journaled group exists")
+                .state
+                .update(value, -count);
         }
     }
 
@@ -686,7 +839,12 @@ impl Distinct {
 }
 
 impl Operator for Distinct {
-    fn on_batch(&mut self, _port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
         for delta in deltas {
             match self.state.apply(delta) {
                 Visibility::Appeared => out.push(Delta::insert(delta.tuple.clone())),
@@ -694,6 +852,19 @@ impl Operator for Distinct {
                 Visibility::Unchanged => {}
             }
         }
+        Ok(())
+    }
+
+    fn begin_epoch(&mut self) {
+        self.state.begin_epoch();
+    }
+
+    fn commit_epoch(&mut self) {
+        self.state.commit_epoch();
+    }
+
+    fn rollback_epoch(&mut self) {
+        self.state.rollback_epoch();
     }
 
     fn name(&self) -> &str {
@@ -713,9 +884,15 @@ impl Union {
 }
 
 impl Operator for Union {
-    fn on_batch(&mut self, port: usize, deltas: &[Delta], out: &mut Vec<Delta>) {
+    fn on_batch(
+        &mut self,
+        port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
         assert!(port < self.arity, "union port {port} out of range");
         out.extend(deltas.iter().filter(|d| d.count != 0).cloned());
+        Ok(())
     }
 
     fn arity(&self) -> usize {
@@ -742,13 +919,13 @@ mod tests {
 
     fn run(op: &mut dyn Operator, port: usize, d: Delta) -> Vec<Delta> {
         let mut out = Vec::new();
-        op.on_batch(port, std::slice::from_ref(&d), &mut out);
+        op.on_batch(port, std::slice::from_ref(&d), &mut out).unwrap();
         out
     }
 
     fn run_batch(op: &mut dyn Operator, port: usize, ds: &[Delta]) -> Vec<Delta> {
         let mut out = Vec::new();
-        op.on_batch(port, ds, &mut out);
+        op.on_batch(port, ds, &mut out).unwrap();
         out
     }
 
@@ -1026,6 +1203,112 @@ mod tests {
         );
         let c = fused.take_counters();
         assert_eq!(c.fused_stages_saved, 4); // 2 batches × 2 saved hops
+    }
+
+    #[test]
+    fn external_fn_failure_surfaces_as_typed_error() {
+        let mut f = ExternalFn::try_new("Fn_flaky", |t, emit| {
+            if t.get(0).as_int() < 0 {
+                return Err("negative input".into());
+            }
+            emit(t.clone());
+            Ok(())
+        });
+        assert_eq!(run(&mut f, 0, Delta::insert(ints(&[1]))).len(), 1);
+        let mut out = Vec::new();
+        let err = f
+            .on_batch(0, &[Delta::insert(ints(&[-1]))], &mut out)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DataflowError::ExternalFn {
+                name: "Fn_flaky".into(),
+                detail: "negative input".into()
+            }
+        );
+    }
+
+    #[test]
+    fn fused_chain_propagates_stage_errors() {
+        let mut pre = Map::project(vec![0]);
+        let mut flaky = ExternalFn::try_new("Fn_flaky", |t, emit| {
+            if t.get(0).as_int() < 0 {
+                return Err("negative input".into());
+            }
+            emit(t.clone());
+            Ok(())
+        });
+        let mut stages = Vec::new();
+        stages.extend(pre.take_fuse_stages().unwrap());
+        stages.extend(flaky.take_fuse_stages().unwrap());
+        let mut fused = Fused::new(stages);
+        assert_eq!(run(&mut fused, 0, Delta::insert(ints(&[2, 9]))).len(), 1);
+        let mut out = Vec::new();
+        let err = fused
+            .on_batch(0, &[Delta::insert(ints(&[-2, 9]))], &mut out)
+            .unwrap_err();
+        assert!(matches!(err, DataflowError::ExternalFn { .. }));
+    }
+
+    #[test]
+    fn join_rollback_restores_both_sides() {
+        let mut j = HashJoin::new(vec![0], vec![0]);
+        run(&mut j, 0, Delta::insert(ints(&[1, 10])));
+        run(&mut j, 1, Delta::insert(ints(&[1, 20])));
+        j.begin_epoch();
+        run(&mut j, 0, Delta::delete(ints(&[1, 10])));
+        run(&mut j, 1, Delta::insert(ints(&[2, 30])));
+        j.rollback_epoch();
+        assert_eq!(j.state_size(), 2);
+        // The state behaves exactly as before the aborted epoch.
+        let out = run(&mut j, 0, Delta::insert(ints(&[1, 11])));
+        assert_eq!(out, vec![Delta::insert(ints(&[1, 11, 1, 20]))]);
+    }
+
+    #[test]
+    fn distinct_rollback_restores_gate_state() {
+        let mut d = Distinct::new();
+        run(&mut d, 0, Delta::insert(ints(&[1])));
+        d.begin_epoch();
+        run(&mut d, 0, Delta::delete(ints(&[1])));
+        run(&mut d, 0, Delta::insert(ints(&[2])));
+        d.rollback_epoch();
+        // Tuple 1 is still present (a re-insert emits nothing), tuple 2
+        // is gone (an insert re-emits).
+        assert!(run(&mut d, 0, Delta::insert(ints(&[1]))).is_empty());
+        assert_eq!(run(&mut d, 0, Delta::insert(ints(&[2]))).len(), 1);
+    }
+
+    #[test]
+    fn group_agg_rollback_restores_next_best_state() {
+        let mut a = GroupAgg::new(vec![0], 1, AggKind::Min);
+        run(&mut a, 0, Delta::insert(ints(&[1, 10])));
+        run(&mut a, 0, Delta::insert(ints(&[1, 30])));
+        a.begin_epoch();
+        run(&mut a, 0, Delta::insert(ints(&[1, 5])));
+        run(&mut a, 0, Delta::delete(ints(&[1, 30])));
+        run(&mut a, 0, Delta::insert(ints(&[2, 7]))); // fresh group
+        a.rollback_epoch();
+        // Group 1's priority queue is back to {10, 30}: deleting the
+        // minimum recovers 30 via next-best.
+        let out = run(&mut a, 0, Delta::delete(ints(&[1, 10])));
+        assert_eq!(
+            out,
+            vec![Delta::delete(ints(&[1, 10])), Delta::insert(ints(&[1, 30]))]
+        );
+        // Group 2 rolled back to empty: a fresh insert emits anew.
+        let out = run(&mut a, 0, Delta::insert(ints(&[2, 9])));
+        assert_eq!(out, vec![Delta::insert(ints(&[2, 9]))]);
+    }
+
+    #[test]
+    fn commit_discards_undo_log() {
+        let mut d = Distinct::new();
+        d.begin_epoch();
+        run(&mut d, 0, Delta::insert(ints(&[1])));
+        d.commit_epoch();
+        d.rollback_epoch(); // nothing to undo
+        assert!(d.state().contains(&ints(&[1])));
     }
 
     #[test]

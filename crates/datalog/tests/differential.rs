@@ -12,129 +12,10 @@
 use proptest::prelude::*;
 
 use reopt_datalog::value::{ints, Tuple, Val};
-use reopt_datalog::{
-    AggKind, Dataflow, Distinct, GroupAgg, HashJoin, Map, NodeId, SchedulerMode, SinkId, Union,
-};
+use reopt_datalog::{Dataflow, Distinct, HashJoin, Map, NodeId, SchedulerMode, SinkId, Union};
 
-/// One randomly generated operator stage. Input indices select from the
-/// pool `[input0, input1, stage0, stage1, ...]` (mod pool size), so
-/// every generated graph is a well-formed DAG over binary tuples.
-#[derive(Clone, Debug)]
-enum StageGen {
-    /// Column swap — a pure projection.
-    Swap(u8),
-    /// Parity filter on column 0.
-    Filter(u8, bool),
-    /// Arithmetic map: `(c0, c1 + k)`.
-    Shift(u8, i8),
-    /// Equi-join on column 0 with a fused output projection back to a
-    /// binary tuple.
-    Join(u8, u8),
-    Union(u8, u8),
-    Distinct(u8),
-    Agg(u8, u8),
-}
-
-/// A full network description: stages plus which stage outputs get
-/// materialized (the last stage always does).
-#[derive(Clone, Debug)]
-struct NetGen {
-    stages: Vec<StageGen>,
-    sink_flags: Vec<bool>,
-}
-
-fn stage_gen() -> impl Strategy<Value = StageGen> {
-    (0u8..7, any::<u8>(), any::<u8>(), any::<bool>(), any::<i8>()).prop_map(
-        |(kind, a, b, flag, k)| match kind {
-            0 => StageGen::Swap(a),
-            1 => StageGen::Filter(a, flag),
-            2 => StageGen::Shift(a, k),
-            3 => StageGen::Join(a, b),
-            4 => StageGen::Union(a, b),
-            5 => StageGen::Distinct(a),
-            _ => StageGen::Agg(a, b),
-        },
-    )
-}
-
-fn net_gen(max_stages: usize) -> impl Strategy<Value = NetGen> {
-    (1..=max_stages).prop_flat_map(move |n| {
-        (
-            proptest::collection::vec(stage_gen(), n),
-            proptest::collection::vec(any::<bool>(), n),
-        )
-            .prop_map(|(stages, sink_flags)| NetGen { stages, sink_flags })
-    })
-}
-
-/// Instantiates the described network under one scheduler/fusion mode.
-fn build(gen: &NetGen, mode: SchedulerMode, fusion: bool) -> (Dataflow, [NodeId; 2], Vec<SinkId>) {
-    let mut df = Dataflow::with_mode(mode);
-    df.set_fusion(fusion);
-    let inputs = [df.add_input("r"), df.add_input("s")];
-    let mut pool: Vec<NodeId> = inputs.to_vec();
-    let mut sinks = Vec::new();
-    let last = gen.stages.len() - 1;
-    for (i, stage) in gen.stages.iter().enumerate() {
-        let pick = |sel: u8| pool[sel as usize % pool.len()];
-        let node = match stage {
-            StageGen::Swap(a) => df.add_op(Map::project(vec![1, 0]), &[pick(*a)]),
-            StageGen::Filter(a, parity) => {
-                let want = i64::from(*parity);
-                df.add_op(
-                    Map::filter(move |t| t.get(0).as_int().rem_euclid(2) == want),
-                    &[pick(*a)],
-                )
-            }
-            StageGen::Shift(a, k) => {
-                let k = *k as i64;
-                df.add_op(
-                    Map::new(move |t| {
-                        Some(Tuple::new(vec![t.get(0), Val::Int(t.get(1).as_int() + k)]))
-                    }),
-                    &[pick(*a)],
-                )
-            }
-            StageGen::Join(a, b) => df.add_op(
-                // Key on column 0; project the virtual concat back to a
-                // binary tuple (left payload, right payload).
-                HashJoin::with_projection(vec![0], vec![0], vec![1, 3]),
-                &[pick(*a), pick(*b)],
-            ),
-            StageGen::Union(a, b) => df.add_op(Union::new(2), &[pick(*a), pick(*b)]),
-            StageGen::Distinct(a) => df.add_op(Distinct::new(), &[pick(*a)]),
-            StageGen::Agg(a, kind) => {
-                let kind = match kind % 4 {
-                    0 => AggKind::Min,
-                    1 => AggKind::Max,
-                    2 => AggKind::Sum,
-                    _ => AggKind::Count,
-                };
-                df.add_op(GroupAgg::new(vec![0], 1, kind), &[pick(*a)])
-            }
-        };
-        if gen.sink_flags[i] || i == last {
-            sinks.push(df.add_sink(node));
-        }
-        pool.push(node);
-    }
-    (df, inputs, sinks)
-}
-
-/// Sink contents with multiplicities, sorted — the observational state
-/// all modes must agree on.
-fn sink_counted(df: &Dataflow, sink: SinkId) -> Vec<(Tuple, i64)> {
-    let mut v: Vec<(Tuple, i64)> = df.sink(sink).iter().map(|(t, c)| (t.clone(), c)).collect();
-    v.sort();
-    v
-}
-
-/// A raw event: (input selector, key, payload, insert?).
-type Event = (bool, u8, u8, bool);
-
-fn events(max: usize) -> impl Strategy<Value = Vec<Event>> {
-    proptest::collection::vec((any::<bool>(), 0u8..4, 0u8..6, any::<bool>()), 1..max)
-}
+mod common;
+use common::{build, events, net_gen, sink_counted};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
