@@ -1,0 +1,98 @@
+//! Durability benchmarks: what a checkpoint costs to cut, and whether
+//! restore-plus-WAL-replay actually beats re-optimizing from scratch —
+//! the whole point of persisting the incremental state. Gated in CI by
+//! `check_bench` against the committed baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reopt_bridge::{AuditMode, DataflowOptimizer};
+use reopt_core::fixtures::{chain_query, fixture_catalog};
+use reopt_cost::ParamDelta;
+use reopt_expr::{EdgeId, LeafId};
+
+fn fresh_dir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("reopt-bench-ckpt-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn warm_batches() -> Vec<Vec<ParamDelta>> {
+    vec![
+        vec![ParamDelta::EdgeSelectivity(EdgeId(1), 2.0)],
+        vec![ParamDelta::LeafCardinality(LeafId(2), 2.0)],
+        vec![ParamDelta::EdgeSelectivity(EdgeId(3), 0.5)],
+        vec![ParamDelta::LeafScanCost(LeafId(4), 4.0)],
+    ]
+}
+
+fn checkpoint_restore(c: &mut Criterion) {
+    let catalog = fixture_catalog();
+    let q = chain_query(&catalog, 5);
+    let batches = warm_batches();
+    let mut group = c.benchmark_group("checkpoint_restore");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+
+    // Cutting a durable checkpoint of a warmed chain-5 optimizer:
+    // serialize the snapshot + atomic tmp/fsync/rename.
+    group.bench_function("checkpoint_write/chain5", |b| {
+        let dir = fresh_dir("write");
+        let mut opt = DataflowOptimizer::new(&catalog, q.clone());
+        opt.set_audit_mode(AuditMode::Off);
+        opt.set_durable_dir(&dir).unwrap();
+        opt.optimize();
+        for batch in &batches {
+            opt.reoptimize(batch);
+        }
+        b.iter(|| opt.checkpoint_durable().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // Full restart: restore the checkpoint, replay the WAL record past
+    // its watermark, pass post-restore verification. The payoff bench —
+    // must come in under `from_scratch_initial/chain5` and under the
+    // plain `initial_chain5` optimize, or durability buys nothing.
+    group.bench_function("restore_replay/chain5", |b| {
+        let dir = fresh_dir("restore");
+        {
+            let mut victim = DataflowOptimizer::new(&catalog, q.clone());
+            victim.set_audit_mode(AuditMode::Off);
+            victim.set_durable_dir(&dir).unwrap();
+            victim.optimize();
+            victim.reoptimize(&batches[0]);
+            victim.reoptimize(&batches[1]);
+            victim.reoptimize(&batches[2]);
+            victim.checkpoint_durable().unwrap();
+            victim.reoptimize(&batches[3]);
+        }
+        b.iter(|| {
+            let (_opt, out) = DataflowOptimizer::recover(&catalog, q.clone(), &dir).unwrap();
+            assert!(out.recovery.errors.is_empty());
+            out.cost
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // The alternative a restart would otherwise pay: build and evaluate
+    // the network from nothing, then re-apply the parameter history.
+    group.bench_function("from_scratch_initial/chain5", |b| {
+        b.iter(|| {
+            let mut opt = DataflowOptimizer::new(&catalog, q.clone());
+            opt.set_audit_mode(AuditMode::Off);
+            opt.optimize();
+            for batch in &batches {
+                opt.reoptimize(batch);
+            }
+            opt.best_cost()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, checkpoint_restore);
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 //! the `optimizer_dataflow` bench compares them head-to-head.
 
 pub mod compile;
+pub mod durable;
 pub mod optimizer;
 
 pub use compile::{CompileError, NetworkBuilder, RuleNetwork};

@@ -36,6 +36,7 @@
 //! simply fails to join `BestCost` — that is how D6/D7/D8 partition the
 //! alternatives by arity without any null-test externals.
 
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 use reopt_catalog::Catalog;
@@ -48,6 +49,7 @@ use reopt_datalog::{DataflowError, FaultPlan, Multiset, RunStats, Tuple, Val};
 use reopt_expr::{ExprId, JoinGraph, PhysProp, PlanNode, QuerySpec};
 
 use crate::compile::{null_value, NetworkBuilder, RuleNetwork};
+use crate::durable;
 
 /// The executable elaboration of the paper's rule program (see the
 /// module docs for the R→D mapping).
@@ -136,6 +138,14 @@ pub enum RecoveryPath {
     /// the memo and the `LocalCost` mirror (which already reflects every
     /// applied parameter delta), then evaluated fresh.
     RebuiltFromScratch,
+    /// A restart restored the last durable checkpoint, replayed the WAL
+    /// tail past its watermark, and passed post-restore verification —
+    /// the incremental state survived the process boundary.
+    RestoredFromCheckpoint,
+    /// A restart found the durable checkpoint torn, truncated, corrupt,
+    /// or failing post-restore verification; the optimizer degraded to a
+    /// from-scratch optimize plus a full WAL replay. Slower, never wrong.
+    RebuiltAfterCorruptCheckpoint,
 }
 
 /// Verdict of the sampled post-epoch audit (see [`AuditMode`]).
@@ -226,6 +236,18 @@ pub struct DataflowOptimizer {
     applied: Vec<ParamDelta>,
     audit: AuditMode,
     epochs_seen: u64,
+    /// Durable-directory state, armed by [`DataflowOptimizer::set_durable_dir`]
+    /// (or by [`DataflowOptimizer::recover`]). `None` keeps the optimizer
+    /// purely in-memory, exactly as before.
+    durable: Option<Durable>,
+}
+
+/// WAL bookkeeping for a durably armed optimizer.
+struct Durable {
+    dir: PathBuf,
+    /// Next WAL record sequence number = intact records currently on
+    /// disk; a checkpoint stores this as its replay watermark.
+    wal_seq: u64,
 }
 
 /// Per-parameter candidate alternatives (see
@@ -312,6 +334,7 @@ impl DataflowOptimizer {
             applied: Vec::new(),
             audit: AuditMode::from_env(),
             epochs_seen: 0,
+            durable: None,
         }
     }
 
@@ -350,10 +373,17 @@ impl DataflowOptimizer {
     /// the changes to the network as `LocalCost` base-relation deltas.
     pub fn reoptimize(&mut self, deltas: &[ParamDelta]) -> DataflowOutcome {
         assert!(self.initialized, "call optimize() before reoptimize()");
+        // Write-ahead: the batch reaches the fsynced WAL before any of
+        // its effects touch the network, so a crash at any later point
+        // replays it. A failed append degrades to in-memory operation
+        // for this batch and is reported, never panicked on.
+        let wal_error = self.wal_append(deltas);
         self.record_applied(deltas);
         let affected = self.ctx.apply(deltas);
         if affected.is_empty() {
-            return self.outcome(RunStats::default(), RecoveryReport::committed());
+            let mut report = RecoveryReport::committed();
+            report.errors.extend(wal_error);
+            return self.outcome(RunStats::default(), report);
         }
         // Candidate alternatives straight from the inverted index —
         // equivalent to testing `alt_affected` on every alternative
@@ -390,7 +420,10 @@ impl DataflowOptimizer {
             self.net.delete("LocalCost", retract);
             self.net.insert("LocalCost", assert);
         }
-        let (stats, recovery) = self.run_recovering();
+        let (stats, mut recovery) = self.run_recovering();
+        if let Some(e) = wal_error {
+            recovery.errors.insert(0, e);
+        }
         self.outcome(stats, recovery)
     }
 
@@ -609,6 +642,360 @@ impl DataflowOptimizer {
     /// rebuild replaces the network).
     pub fn rollbacks(&self) -> u64 {
         self.net.rollbacks()
+    }
+
+    /// Arms durability: every subsequent [`DataflowOptimizer::reoptimize`]
+    /// batch is appended to `<dir>/wal.bin` (fsynced, write-ahead) and
+    /// [`DataflowOptimizer::checkpoint_durable`] snapshots to
+    /// `<dir>/checkpoint.bin`. An existing WAL is adopted — appends
+    /// continue after its intact records, and a torn tail from an
+    /// earlier crash is truncated away first; an unreadable WAL is
+    /// reinitialized empty (a later [`DataflowOptimizer::recover`] will
+    /// then degrade rather than trust a stale checkpoint against it).
+    pub fn set_durable_dir(&mut self, dir: impl Into<PathBuf>) -> std::io::Result<()> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let wal_path = dir.join(durable::WAL_FILE);
+        let wal_seq = match std::fs::read(&wal_path) {
+            Err(_) => {
+                durable::wal_init(&wal_path)?;
+                0
+            }
+            Ok(bytes) => match durable::wal_records(&bytes) {
+                Ok(scan) => {
+                    if scan.torn {
+                        let f = std::fs::OpenOptions::new().write(true).open(&wal_path)?;
+                        f.set_len(scan.valid_len as u64)?;
+                        f.sync_all()?;
+                    }
+                    scan.batches.len() as u64
+                }
+                Err(_) => {
+                    durable::wal_init(&wal_path)?;
+                    0
+                }
+            },
+        };
+        self.durable = Some(Durable { dir, wal_seq });
+        Ok(())
+    }
+
+    /// The armed durable directory, if any.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
+    fn wal_append(&mut self, deltas: &[ParamDelta]) -> Option<DataflowError> {
+        let d = self.durable.as_mut()?;
+        match durable::wal_append(&d.dir.join(durable::WAL_FILE), d.wal_seq, deltas) {
+            Ok(()) => {
+                d.wal_seq += 1;
+                None
+            }
+            Err(e) => Some(DataflowError::StateCorruption(format!(
+                "WAL append failed, operating in-memory for this batch: {e}"
+            ))),
+        }
+    }
+
+    /// Cuts a durable checkpoint of the committed optimizer state —
+    /// applied-delta log, `LocalCost` mirror, the full network dataflow
+    /// state (operator indexes, sinks, queue residue, symbol table) and
+    /// the WAL watermark — atomically (tmp + fsync + rename). Requires
+    /// [`DataflowOptimizer::set_durable_dir`].
+    pub fn checkpoint_durable(&mut self) -> std::io::Result<()> {
+        let dir = self
+            .durable
+            .as_ref()
+            .expect("set_durable_dir before checkpoint_durable")
+            .dir
+            .clone();
+        let bytes = self.snapshot_bytes();
+        reopt_datalog::checkpoint::write_atomic(&dir.join(durable::CHECKPOINT_FILE), &bytes)
+    }
+
+    /// Serializes the optimizer snapshot: a record stream (shared
+    /// framing with the substrate checkpoint) of
+    ///
+    /// 1. meta — WAL watermark, epochs seen, mirror length, log length;
+    /// 2. the deduped applied-[`ParamDelta`] log;
+    /// 3. the `LocalCost` mirror (f64 bit patterns, so `INFINITY` round-
+    ///    trips exactly);
+    /// 4. the embedded network checkpoint ([`RuleNetwork::checkpoint`]),
+    ///    which carries its own symbol table.
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        use reopt_datalog::checkpoint::{Enc, RecordWriter, MAGIC};
+        let mut w = RecordWriter::new(MAGIC);
+        let mut meta = Enc::new();
+        meta.u64(self.durable.as_ref().map_or(0, |d| d.wal_seq));
+        meta.u64(self.epochs_seen);
+        meta.u64(self.local.len() as u64);
+        meta.u64(self.applied.len() as u64);
+        w.record(meta);
+        let mut log = Enc::new();
+        for d in &self.applied {
+            durable::encode_delta(&mut log, d);
+        }
+        w.record(log);
+        let mut mirror = Enc::new();
+        for c in &self.local {
+            mirror.f64(c.value());
+        }
+        w.record(mirror);
+        let mut net = Enc::new();
+        net.raw(&self.net.checkpoint());
+        w.record(net);
+        w.into_bytes()
+    }
+
+    /// Restores a snapshot into this freshly built optimizer; returns
+    /// the WAL watermark to replay from. On `Err` the optimizer state
+    /// is unspecified and the instance must be discarded (recover
+    /// degrades to a from-scratch rebuild).
+    fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<u64, DataflowError> {
+        use reopt_datalog::checkpoint::{Dec, RecordReader, SymRemap, MAGIC};
+        let corrupt = |msg: String| DataflowError::StateCorruption(msg);
+        fn need(r: Option<&[u8]>) -> Result<&[u8], DataflowError> {
+            r.ok_or_else(|| DataflowError::StateCorruption("snapshot ends early".into()))
+        }
+        // Bridge-level records carry no symbols (the net blob embeds its
+        // own table), so an empty remap suffices.
+        let remap = SymRemap::from_strings(&[]);
+        let mut r = RecordReader::new(bytes, MAGIC)?;
+
+        let meta = need(r.next_record()?)?;
+        let mut d = Dec::new(meta, &remap);
+        let watermark = d.u64()?;
+        let epochs_seen = d.u64()?;
+        let n_local = d.u64()? as usize;
+        let n_applied = d.u64()? as usize;
+        if !d.is_done() {
+            return Err(corrupt("trailing bytes in snapshot meta".into()));
+        }
+        if n_local != self.local.len() {
+            return Err(corrupt(format!(
+                "snapshot mirrors {n_local} alternatives but this query builds {}",
+                self.local.len()
+            )));
+        }
+
+        let log = need(r.next_record()?)?;
+        let mut d = Dec::new(log, &remap);
+        let mut applied = Vec::with_capacity(n_applied.min(log.len() / 13));
+        for _ in 0..n_applied {
+            let delta = durable::decode_delta(&mut d)?;
+            let in_range = match delta {
+                ParamDelta::EdgeSelectivity(e, _) => (e.0 as usize) < self.q.edges.len(),
+                ParamDelta::LeafCardinality(l, _) | ParamDelta::LeafScanCost(l, _) => {
+                    l.0 < self.q.n_leaves()
+                }
+            };
+            if !in_range {
+                return Err(corrupt(format!(
+                    "snapshot log references a parameter outside this query: {delta:?}"
+                )));
+            }
+            applied.push(delta);
+        }
+        if !d.is_done() {
+            return Err(corrupt("trailing bytes in snapshot delta log".into()));
+        }
+
+        let mirror = need(r.next_record()?)?;
+        let mut d = Dec::new(mirror, &remap);
+        let mut local = Vec::with_capacity(n_local);
+        for _ in 0..n_local {
+            local.push(Cost::new(d.f64()?));
+        }
+        if !d.is_done() {
+            return Err(corrupt("trailing bytes in snapshot mirror".into()));
+        }
+
+        let net_blob = need(r.next_record()?)?;
+        let mut d = Dec::new(net_blob, &remap);
+        self.net.restore(d.rest())?;
+        if r.next_record()?.is_some() {
+            return Err(corrupt("unexpected trailing snapshot record".into()));
+        }
+
+        // Absolute factors: replaying the deduped log onto the fresh
+        // catalog-derived context reconstructs it exactly.
+        self.ctx.apply(&applied);
+        self.applied = applied;
+        self.local = local;
+        self.epochs_seen = epochs_seen;
+        self.initialized = true;
+        Ok(watermark)
+    }
+
+    /// Post-restore verification — satellite of the recovery ladder,
+    /// deliberately cheaper than the full [`DataflowOptimizer::audit`]
+    /// (no from-scratch dataflow recompute, which would cost more than
+    /// the restore saved): no residual negative sink counts, one
+    /// `SearchSpace` row per memo alternative, and a shadow hand-rolled
+    /// engine replaying the restored delta log must pass
+    /// `check_invariants` and agree on the best cost.
+    fn post_restore_verify(&mut self) -> Result<(), DataflowError> {
+        let bad = |msg: String| Err(DataflowError::StateCorruption(msg));
+        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+            for (t, c) in self.net.sink(name).iter() {
+                if c < 0 {
+                    return bad(format!(
+                        "restored sink {name} holds residual negative count {c} for {t:?}"
+                    ));
+                }
+            }
+        }
+        let alts = self.net.sink("SearchSpace").iter().count();
+        if alts != self.memo.n_alts() {
+            return bad(format!(
+                "restored SearchSpace has {alts} rows but the memo enumerates {}",
+                self.memo.n_alts()
+            ));
+        }
+        let mut shadow =
+            IncrementalOptimizer::new(&self.catalog, self.q.clone(), PruningConfig::none());
+        let mut want = shadow.optimize();
+        if !self.applied.is_empty() {
+            let applied = self.applied.clone();
+            want = shadow.reoptimize(&applied);
+        }
+        if let Err(m) = shadow.check_invariants() {
+            return bad(format!("shadow engine after restore: {m}"));
+        }
+        if !want.cost.approx_eq(self.best_cost()) {
+            return bad(format!(
+                "restored best cost {:?} disagrees with shadow engine {:?}",
+                self.best_cost(),
+                want.cost
+            ));
+        }
+        Ok(())
+    }
+
+    /// Restarts an optimizer from a durable directory. The full ladder:
+    ///
+    /// 1. checkpoint present and intact → restore it, flush any
+    ///    checkpointed queue residue, replay the WAL records past the
+    ///    watermark, verify → [`RecoveryPath::RestoredFromCheckpoint`];
+    /// 2. checkpoint torn / corrupt / failing verification → discard
+    ///    it, optimize from scratch and replay the *whole* WAL →
+    ///    [`RecoveryPath::RebuiltAfterCorruptCheckpoint`];
+    /// 3. no checkpoint but WAL content (crashed before the first
+    ///    checkpoint) → from-scratch plus full replay →
+    ///    [`RecoveryPath::RebuiltFromScratch`];
+    /// 4. empty directory → a plain first boot →
+    ///    [`RecoveryPath::Committed`].
+    ///
+    /// State damage never panics and never returns `Err`; it degrades
+    /// down the ladder with every absorbed error in the report. `Err`
+    /// is reserved for failing to arm the directory itself.
+    pub fn recover(
+        catalog: &Catalog,
+        q: QuerySpec,
+        dir: impl AsRef<Path>,
+    ) -> std::io::Result<(DataflowOptimizer, DataflowOutcome)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut errors: Vec<DataflowError> = Vec::new();
+
+        let wal_path = dir.join(durable::WAL_FILE);
+        // `wal_fix` remembers what arming durability at the end must do
+        // to the file: `Some((torn, valid_len))` for a readable WAL
+        // (truncate the torn tail if any), `None` for a missing or
+        // corrupt one (reinitialize empty). Keeping the scan outcome
+        // here avoids a second read+scan of the WAL when we arm.
+        let (wal_batches, wal_fix) = match std::fs::read(&wal_path) {
+            Err(_) => (Vec::new(), None), // no WAL yet: fresh boot
+            Ok(bytes) => match durable::wal_records(&bytes) {
+                Ok(scan) => {
+                    let fix = Some((scan.torn, scan.valid_len as u64));
+                    (scan.batches, fix)
+                }
+                Err(e) => {
+                    errors.push(e);
+                    (Vec::new(), None)
+                }
+            },
+        };
+        let ckpt_bytes = std::fs::read(dir.join(durable::CHECKPOINT_FILE)).ok();
+        let had_checkpoint = ckpt_bytes.is_some();
+        let had_history = !wal_batches.is_empty() || !errors.is_empty();
+
+        let mut restored: Option<(DataflowOptimizer, RunStats)> = None;
+        if let Some(bytes) = ckpt_bytes {
+            let mut opt = DataflowOptimizer::new(catalog, q.clone());
+            match opt.restore_snapshot(&bytes) {
+                Ok(watermark) if (watermark as usize) <= wal_batches.len() => {
+                    // Flush any queue residue the checkpoint carried,
+                    // then replay the tail the snapshot has not seen.
+                    let (mut stats, flush) = opt.run_recovering();
+                    errors.extend(flush.errors.iter().cloned());
+                    if flush.path == RecoveryPath::Committed {
+                        for batch in &wal_batches[watermark as usize..] {
+                            let out = opt.reoptimize(batch);
+                            errors.extend(out.recovery.errors.iter().cloned());
+                            stats = out.stats;
+                        }
+                        match opt.post_restore_verify() {
+                            Ok(()) => restored = Some((opt, stats)),
+                            Err(e) => errors.push(e),
+                        }
+                    }
+                }
+                Ok(watermark) => errors.push(DataflowError::StateCorruption(format!(
+                    "checkpoint watermark {watermark} is beyond the {} intact WAL records",
+                    wal_batches.len()
+                ))),
+                Err(e) => errors.push(e),
+            }
+        }
+
+        let (mut opt, path, stats) = match restored {
+            Some((opt, stats)) => (opt, RecoveryPath::RestoredFromCheckpoint, stats),
+            None => {
+                let mut opt = DataflowOptimizer::new(catalog, q);
+                let mut out = opt.optimize();
+                for batch in &wal_batches {
+                    out = opt.reoptimize(batch);
+                }
+                let path = if had_checkpoint {
+                    RecoveryPath::RebuiltAfterCorruptCheckpoint
+                } else if had_history {
+                    RecoveryPath::RebuiltFromScratch
+                } else {
+                    RecoveryPath::Committed
+                };
+                (opt, path, out.stats)
+            }
+        };
+        // Arm durability from the scan already performed — the same
+        // repairs `set_durable_dir` would make, minus its re-read.
+        let wal_seq = match wal_fix {
+            Some((torn, valid_len)) => {
+                if torn {
+                    let f = std::fs::OpenOptions::new().write(true).open(&wal_path)?;
+                    f.set_len(valid_len)?;
+                    f.sync_all()?;
+                }
+                wal_batches.len() as u64
+            }
+            None => {
+                durable::wal_init(&wal_path)?;
+                0
+            }
+        };
+        opt.durable = Some(Durable {
+            dir: dir.to_path_buf(),
+            wal_seq,
+        });
+        let report = RecoveryReport {
+            path,
+            errors,
+            audit: AuditOutcome::NotSampled,
+        };
+        let outcome = opt.outcome(stats, report);
+        Ok((opt, outcome))
     }
 
     fn local_tuple(&self, expr: ExprId, prop: PhysProp, a: AltId, c: Cost) -> Tuple {

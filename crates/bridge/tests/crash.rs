@@ -1,0 +1,487 @@
+//! Crash-recovery tests for the durable [`DataflowOptimizer`]: a victim
+//! optimizer is checkpointed (and WAL-logged) at a random point of a
+//! random delta sequence, "crashed" (dropped), and recovered in a fresh
+//! instance — which must land byte-identical to an oracle that never
+//! crashed. Corruption variants seed damage into the on-disk files and
+//! require detection plus graceful degradation, never a panic and never
+//! a silently wrong plan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use reopt_bridge::{AuditMode, DataflowOptimizer, RecoveryPath};
+use reopt_catalog::{Catalog, ColumnStats, TableBuilder, TableStats};
+use reopt_cost::ParamDelta;
+use reopt_datalog::{Multiset, Tuple};
+use reopt_expr::{EdgeId, LeafId, QuerySpec};
+
+/// Deterministic description of a random query instance (same shape as
+/// the differential property suite in `props.rs`).
+#[derive(Clone, Debug)]
+struct QueryGen {
+    rows: Vec<u8>,
+    indexed: Vec<bool>,
+    parent: Vec<u8>,
+    cycle: bool,
+}
+
+fn query_gen(max_leaves: usize) -> impl Strategy<Value = QueryGen> {
+    (2..=max_leaves).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1u8..=5, n),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(any::<u8>(), n - 1),
+            any::<bool>(),
+        )
+            .prop_map(|(rows, indexed, parent, cycle)| QueryGen {
+                rows,
+                indexed,
+                parent,
+                cycle,
+            })
+    })
+}
+
+fn build(gen: &QueryGen) -> (Catalog, QuerySpec) {
+    let n = gen.rows.len();
+    let mut c = Catalog::new();
+    for i in 0..n {
+        let rows = 10f64.powi(gen.rows[i] as i32);
+        let name = format!("t{i}");
+        let indexed = gen.indexed[i];
+        c.add_table(
+            |id| {
+                let mut b = TableBuilder::new(&name).int_col("a").int_col("b");
+                if indexed {
+                    b = b.index_on("a");
+                }
+                b.build(id)
+            },
+            TableStats {
+                row_count: rows,
+                columns: vec![ColumnStats::uniform_key(rows); 2],
+            },
+        );
+    }
+    let mut b = QuerySpec::builder("crash");
+    let leaves: Vec<_> = (0..n).map(|i| b.leaf(&c, &format!("t{i}"))).collect();
+    for i in 1..n {
+        let p = (gen.parent[i - 1] as usize) % i;
+        b.join(&c, leaves[p], "b", leaves[i], "a");
+    }
+    if gen.cycle && n > 2 {
+        b.join(&c, leaves[n - 1], "b", leaves[0], "a");
+    }
+    (c, b.build())
+}
+
+fn deltas_for(q: &QuerySpec, raw: (u8, u8, u8)) -> Vec<ParamDelta> {
+    let (kind, idx, mag) = raw;
+    let factor = 2f64.powi((mag as i32 % 7) - 3);
+    vec![match kind % 3 {
+        0 if !q.edges.is_empty() => {
+            ParamDelta::EdgeSelectivity(EdgeId(idx as u32 % q.edges.len() as u32), factor)
+        }
+        1 => ParamDelta::LeafCardinality(LeafId(idx as u32 % q.n_leaves()), factor),
+        _ => ParamDelta::LeafScanCost(LeafId(idx as u32 % q.n_leaves()), factor),
+    }]
+}
+
+fn sink_sorted(sink: &Multiset) -> Vec<(Tuple, i64)> {
+    let mut v: Vec<(Tuple, i64)> = sink.iter().map(|(t, c)| (t.clone(), c)).collect();
+    v.sort();
+    v
+}
+
+fn assert_sinks_match(a: &DataflowOptimizer, b: &DataflowOptimizer, what: &str) {
+    for name in ["SearchSpace", "BestCost", "BestPlan"] {
+        assert!(
+            !a.sink(name).has_negative_counts(),
+            "{what}: residual negative counts in {name}"
+        );
+        assert_eq!(
+            sink_sorted(a.sink(name)),
+            sink_sorted(b.sink(name)),
+            "{what}: sink {name} diverged"
+        );
+    }
+}
+
+/// A fresh, unique durable directory under the system temp dir.
+fn fresh_dir(label: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "reopt-bridge-crash-{label}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The deterministic 5-leaf chain the benches use, with a fixed delta
+/// schedule — the fixture behind the plain (non-property) tests.
+fn chain5() -> (Catalog, QuerySpec) {
+    build(&QueryGen {
+        rows: vec![2, 4, 3, 5, 1],
+        indexed: vec![true, false, true, false, true],
+        parent: vec![0, 1, 2, 3],
+        cycle: false,
+    })
+}
+
+fn chain5_batches(q: &QuerySpec) -> Vec<Vec<ParamDelta>> {
+    vec![
+        deltas_for(q, (0, 1, 6)),
+        deltas_for(q, (1, 3, 1)),
+        deltas_for(q, (2, 0, 5)),
+        deltas_for(q, (0, 2, 2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The bridge lockstep variant of the substrate crash suite: a
+    /// victim checkpoints after a random prefix of a random delta
+    /// sequence, keeps going (those batches reach only the WAL), and
+    /// crashes. Recovery must restore + replay to the exact state of an
+    /// uninterrupted oracle — best cost, extracted plan, and every
+    /// materialized sink with counts — and then resume incrementally in
+    /// lockstep.
+    #[test]
+    fn recovered_optimizer_matches_the_uninterrupted_oracle(
+        gen in query_gen(5),
+        seq in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..8),
+        ckpt_sel in any::<u8>(),
+        resume in (any::<u8>(), any::<u8>(), any::<u8>()),
+    ) {
+        let (c, q) = build(&gen);
+        let dir = fresh_dir("lockstep");
+        let ckpt_at = ckpt_sel as usize % (seq.len() + 1);
+
+        let mut oracle = DataflowOptimizer::new(&c, q.clone());
+        oracle.set_audit_mode(AuditMode::Off);
+        oracle.optimize();
+
+        let mut victim = DataflowOptimizer::new(&c, q.clone());
+        victim.set_audit_mode(AuditMode::Off);
+        victim.set_durable_dir(&dir).unwrap();
+        victim.optimize();
+        for (i, &raw) in seq.iter().enumerate() {
+            if i == ckpt_at {
+                victim.checkpoint_durable().unwrap();
+            }
+            let deltas = deltas_for(&q, raw);
+            oracle.reoptimize(&deltas);
+            victim.reoptimize(&deltas);
+        }
+        if ckpt_at == seq.len() {
+            victim.checkpoint_durable().unwrap();
+        }
+        drop(victim); // the crash
+
+        let (mut rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+        rec.set_audit_mode(AuditMode::Off);
+        prop_assert_eq!(out.recovery.path, RecoveryPath::RestoredFromCheckpoint);
+        prop_assert!(out.recovery.errors.is_empty(),
+            "unexpected recovery errors: {:?}", out.recovery.errors);
+        prop_assert!(out.cost.approx_eq(oracle.best_cost()),
+            "recovered cost {:?} vs oracle {:?}", out.cost, oracle.best_cost());
+        prop_assert_eq!(&out.plan, &oracle.best_plan(), "recovered BestPlan diverged");
+        assert_sinks_match(&rec, &oracle, "after recovery");
+
+        // Recovery is not a dead end: the next epoch stays in lockstep.
+        let deltas = deltas_for(&q, resume);
+        let got = rec.reoptimize(&deltas);
+        let want = oracle.reoptimize(&deltas);
+        prop_assert!(got.cost.approx_eq(want.cost),
+            "post-recovery epoch: {:?} vs oracle {:?}", got.cost, want.cost);
+        assert_sinks_match(&rec, &oracle, "after post-recovery epoch");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// A seeded bit flip anywhere in the checkpoint file must be
+    /// detected (per-record CRC, bounds checks) and degrade to a
+    /// from-scratch rebuild plus full WAL replay that still matches the
+    /// oracle exactly — corruption costs time, never correctness.
+    #[test]
+    fn flipped_checkpoint_bits_degrade_to_an_exact_rebuild(
+        gen in query_gen(4),
+        seq in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..5),
+        byte_sel in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        let (c, q) = build(&gen);
+        let dir = fresh_dir("flip");
+
+        let mut oracle = DataflowOptimizer::new(&c, q.clone());
+        oracle.set_audit_mode(AuditMode::Off);
+        oracle.optimize();
+        let mut victim = DataflowOptimizer::new(&c, q.clone());
+        victim.set_audit_mode(AuditMode::Off);
+        victim.set_durable_dir(&dir).unwrap();
+        victim.optimize();
+        for &raw in &seq {
+            let deltas = deltas_for(&q, raw);
+            oracle.reoptimize(&deltas);
+            victim.reoptimize(&deltas);
+        }
+        victim.checkpoint_durable().unwrap();
+        drop(victim);
+
+        let path = dir.join("checkpoint.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = byte_sel as usize % bytes.len();
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+        prop_assert_eq!(
+            out.recovery.path, RecoveryPath::RebuiltAfterCorruptCheckpoint,
+            "flip of bit {} at byte {}/{} went undetected", bit, at, bytes.len()
+        );
+        prop_assert!(!out.recovery.errors.is_empty(), "degradation must be reported");
+        prop_assert!(out.cost.approx_eq(oracle.best_cost()),
+            "rebuilt cost {:?} vs oracle {:?}", out.cost, oracle.best_cost());
+        assert_sinks_match(&rec, &oracle, "after degraded rebuild");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Damage to the WAL must also never panic and never yield an
+    /// inconsistent optimizer: whatever ladder rung recovery lands on,
+    /// the full audit (from-scratch recompute + shadow engine replaying
+    /// the recovered delta log) must pass. Acknowledged batches past
+    /// the damage may be lost — that loss is *reported*, not silent.
+    #[test]
+    fn flipped_wal_bits_recover_to_a_consistent_state(
+        gen in query_gen(4),
+        seq in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..5),
+        byte_sel in any::<u32>(),
+        bit in 0u8..8,
+        with_checkpoint in any::<bool>(),
+    ) {
+        let (c, q) = build(&gen);
+        let dir = fresh_dir("walflip");
+        let mut victim = DataflowOptimizer::new(&c, q.clone());
+        victim.set_audit_mode(AuditMode::Off);
+        victim.set_durable_dir(&dir).unwrap();
+        victim.optimize();
+        if with_checkpoint {
+            victim.checkpoint_durable().unwrap();
+        }
+        for &raw in &seq {
+            victim.reoptimize(&deltas_for(&q, raw));
+        }
+        drop(victim);
+
+        let path = dir.join("wal.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = byte_sel as usize % bytes.len();
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+        prop_assert_ne!(out.recovery.path, RecoveryPath::Committed,
+            "damaged history cannot look like a clean first boot");
+        prop_assert!(rec.audit().is_ok(),
+            "recovered state failed the full audit after WAL damage at byte {at}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The acceptance scenario, pinned deterministically: warm a chain-5
+/// optimizer through several epochs, checkpoint mid-sequence, keep
+/// going, crash, recover — byte-identical `BestPlan` and sink multisets
+/// versus the uninterrupted run, then lockstep resume.
+#[test]
+fn chain5_restart_resumes_from_checkpoint_and_wal_tail() {
+    let (c, q) = chain5();
+    let dir = fresh_dir("chain5");
+    let batches = chain5_batches(&q);
+
+    let mut oracle = DataflowOptimizer::new(&c, q.clone());
+    oracle.set_audit_mode(AuditMode::Off);
+    oracle.optimize();
+    let mut victim = DataflowOptimizer::new(&c, q.clone());
+    victim.set_audit_mode(AuditMode::Off);
+    victim.set_durable_dir(&dir).unwrap();
+    victim.optimize();
+    for (i, batch) in batches.iter().enumerate() {
+        oracle.reoptimize(batch);
+        victim.reoptimize(batch);
+        if i == 1 {
+            victim.checkpoint_durable().unwrap();
+        }
+    }
+    drop(victim);
+
+    let (mut rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+    rec.set_audit_mode(AuditMode::Off);
+    assert_eq!(out.recovery.path, RecoveryPath::RestoredFromCheckpoint);
+    assert!(out.recovery.errors.is_empty(), "{:?}", out.recovery.errors);
+    assert!(out.cost.approx_eq(oracle.best_cost()));
+    assert_eq!(out.plan, oracle.best_plan());
+    assert_sinks_match(&rec, &oracle, "after chain5 recovery");
+
+    let extra = deltas_for(&q, (1, 0, 6));
+    let got = rec.reoptimize(&extra);
+    let want = oracle.reoptimize(&extra);
+    assert!(got.cost.approx_eq(want.cost));
+    assert_sinks_match(&rec, &oracle, "after chain5 resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An empty durable directory is a plain first boot, not a recovery.
+#[test]
+fn recover_on_an_empty_dir_is_a_plain_first_boot() {
+    let (c, q) = chain5();
+    let dir = fresh_dir("boot");
+    let (_rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+    assert_eq!(out.recovery.path, RecoveryPath::Committed);
+    assert!(out.recovery.errors.is_empty());
+    let mut fresh = DataflowOptimizer::new(&c, q);
+    let want = fresh.optimize();
+    assert!(out.cost.approx_eq(want.cost));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crashing before the first checkpoint still loses nothing: the WAL
+/// alone replays every acknowledged batch onto a from-scratch build.
+#[test]
+fn crash_before_any_checkpoint_replays_the_whole_wal() {
+    let (c, q) = chain5();
+    let dir = fresh_dir("nockpt");
+    let batches = chain5_batches(&q);
+
+    let mut oracle = DataflowOptimizer::new(&c, q.clone());
+    oracle.set_audit_mode(AuditMode::Off);
+    oracle.optimize();
+    let mut victim = DataflowOptimizer::new(&c, q.clone());
+    victim.set_audit_mode(AuditMode::Off);
+    victim.set_durable_dir(&dir).unwrap();
+    victim.optimize();
+    for batch in &batches {
+        oracle.reoptimize(batch);
+        victim.reoptimize(batch);
+    }
+    drop(victim);
+
+    let (rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+    assert_eq!(out.recovery.path, RecoveryPath::RebuiltFromScratch);
+    assert!(out.cost.approx_eq(oracle.best_cost()));
+    assert_eq!(out.plan, oracle.best_plan());
+    assert_sinks_match(&rec, &oracle, "after WAL-only recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn WAL tail — the image of a crash mid-append — is truncated
+/// away on recovery; the batches before it replay normally and new
+/// appends continue cleanly from the cut.
+#[test]
+fn torn_wal_tail_is_discarded_and_the_log_heals() {
+    let (c, q) = chain5();
+    let dir = fresh_dir("torn");
+    let batches = chain5_batches(&q);
+
+    let mut oracle = DataflowOptimizer::new(&c, q.clone());
+    oracle.set_audit_mode(AuditMode::Off);
+    oracle.optimize();
+    let mut victim = DataflowOptimizer::new(&c, q.clone());
+    victim.set_audit_mode(AuditMode::Off);
+    victim.set_durable_dir(&dir).unwrap();
+    victim.optimize();
+    for (i, batch) in batches.iter().enumerate() {
+        victim.reoptimize(batch);
+        if i + 1 < batches.len() {
+            // The last batch is the one that will be torn away.
+            oracle.reoptimize(batch);
+        }
+    }
+    drop(victim);
+
+    // Tear the final record: chop a few bytes off the WAL.
+    let path = dir.join("wal.bin");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+    let (mut rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+    rec.set_audit_mode(AuditMode::Off);
+    assert_eq!(out.recovery.path, RecoveryPath::RebuiltFromScratch);
+    assert!(out.cost.approx_eq(oracle.best_cost()));
+    assert_sinks_match(&rec, &oracle, "after torn-tail recovery");
+
+    // The healed log accepts new appends and a later recovery sees them.
+    let extra = deltas_for(&q, (2, 4, 0));
+    rec.reoptimize(&extra);
+    oracle.reoptimize(&extra);
+    drop(rec);
+    let (rec2, out2) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+    assert_eq!(out2.recovery.path, RecoveryPath::RebuiltFromScratch);
+    assert_sinks_match(&rec2, &oracle, "after healed-log recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cross-process restart: a child process (fresh interner) warms and
+/// checkpoints a durable optimizer, then exits; the parent — whose
+/// interner is deliberately shifted by decoy strings — recovers from
+/// the same directory. The embedded symbol table must remap every
+/// interned operator name, or the restored sinks would be garbage.
+#[test]
+fn durable_state_survives_a_process_boundary() {
+    const ENV: &str = "REOPT_BRIDGE_CRASH_DIR";
+    let (c, q) = chain5();
+    let batches = chain5_batches(&q);
+
+    if let Ok(dir) = std::env::var(ENV) {
+        // Child: warm, checkpoint mid-sequence, log the rest, "crash".
+        let mut victim = DataflowOptimizer::new(&c, q.clone());
+        victim.set_audit_mode(AuditMode::Off);
+        victim.set_durable_dir(&dir).unwrap();
+        victim.optimize();
+        for (i, batch) in batches.iter().enumerate() {
+            victim.reoptimize(batch);
+            if i == 2 {
+                victim.checkpoint_durable().unwrap();
+            }
+        }
+        std::process::exit(0);
+    }
+
+    // Parent: shift the interner so the child's symbol ids are wrong
+    // here unless the checkpoint's table remaps them.
+    for i in 0..37 {
+        reopt_datalog::Sym::intern(&format!("parent-decoy-{i}"));
+    }
+
+    let dir = fresh_dir("xproc");
+    let exe = std::env::current_exe().unwrap();
+    let status = std::process::Command::new(exe)
+        .args(["--exact", "durable_state_survives_a_process_boundary"])
+        .env(ENV, &dir)
+        .status()
+        .unwrap();
+    assert!(status.success(), "child process failed");
+
+    let mut oracle = DataflowOptimizer::new(&c, q.clone());
+    oracle.set_audit_mode(AuditMode::Off);
+    oracle.optimize();
+    for batch in &batches {
+        oracle.reoptimize(batch);
+    }
+
+    let (mut rec, out) = DataflowOptimizer::recover(&c, q, &dir).unwrap();
+    rec.set_audit_mode(AuditMode::Off);
+    assert_eq!(out.recovery.path, RecoveryPath::RestoredFromCheckpoint);
+    assert!(out.recovery.errors.is_empty(), "{:?}", out.recovery.errors);
+    assert!(out.cost.approx_eq(oracle.best_cost()));
+    assert_eq!(out.plan, oracle.best_plan());
+    assert_sinks_match(&rec, &oracle, "across the process boundary");
+    let _ = std::fs::remove_dir_all(&dir);
+}

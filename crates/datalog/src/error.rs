@@ -39,6 +39,12 @@ pub enum DataflowError {
     /// A structural misuse of the graph API: wiring through a fused
     /// node, pushing to a non-input node, and the like.
     InvalidWiring(String),
+    /// A durable checkpoint or WAL failed validation on restore: bad
+    /// magic/version, a per-record CRC mismatch (bit flip), a torn or
+    /// truncated file, or a topology mismatch against the live network.
+    /// Carries a human-readable description of what failed; callers are
+    /// expected to degrade to a from-scratch rebuild, never to panic.
+    StateCorruption(String),
 }
 
 impl fmt::Display for DataflowError {
@@ -57,6 +63,9 @@ impl fmt::Display for DataflowError {
                 write!(f, "invariant violation: {msg}")
             }
             DataflowError::InvalidWiring(msg) => write!(f, "invalid wiring: {msg}"),
+            DataflowError::StateCorruption(msg) => {
+                write!(f, "durable state corrupted: {msg}")
+            }
         }
     }
 }

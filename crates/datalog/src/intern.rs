@@ -85,6 +85,14 @@ impl Sym {
     pub fn from_id(id: u32) -> Sym {
         Sym(id)
     }
+
+    /// A snapshot of the whole symbol table in id order (index =
+    /// [`Sym::id`]). Checkpoints embed it so a restore into a *fresh
+    /// process* — whose interner assigned different ids — can remap
+    /// every serialized symbol by re-interning the strings.
+    pub fn table_snapshot() -> Vec<Arc<str>> {
+        interner().strings.clone()
+    }
 }
 
 impl PartialOrd for Sym {

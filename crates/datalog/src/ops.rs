@@ -127,6 +127,26 @@ pub trait Operator {
         OpCounters::default()
     }
 
+    /// Serializes the operator's committed state into a checkpoint
+    /// payload. Only called between runs, at a committed-epoch boundary
+    /// (no epoch is open, so journals are empty and need no encoding).
+    /// Stateless operators keep the no-op default — an empty payload —
+    /// which the restore side treats as "nothing to restore".
+    fn checkpoint_state(&self, _out: &mut crate::checkpoint::Enc) {}
+
+    /// Restores state previously written by
+    /// [`Operator::checkpoint_state`] into this (freshly built)
+    /// operator. The payload's symbols have already been remapped into
+    /// the current process by the decoder; implementations re-apply
+    /// entries through their normal update paths so every derived hash
+    /// and counter is rebuilt rather than trusted from disk.
+    fn restore_state(
+        &mut self,
+        _input: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), DataflowError> {
+        Ok(())
+    }
+
     fn name(&self) -> &str;
 }
 
@@ -670,6 +690,19 @@ impl Operator for HashJoin {
         std::mem::take(&mut self.counters)
     }
 
+    fn checkpoint_state(&self, out: &mut crate::checkpoint::Enc) {
+        crate::checkpoint::encode_indexed(out, &self.left);
+        crate::checkpoint::encode_indexed(out, &self.right);
+    }
+
+    fn restore_state(
+        &mut self,
+        input: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), DataflowError> {
+        crate::checkpoint::decode_indexed(input, &mut self.left)?;
+        crate::checkpoint::decode_indexed(input, &mut self.right)
+    }
+
     fn name(&self) -> &str {
         "join"
     }
@@ -814,6 +847,62 @@ impl Operator for GroupAgg {
         }
     }
 
+    fn checkpoint_state(&self, out: &mut crate::checkpoint::Enc) {
+        // Groups whose state drained to empty aggregate to `None` and
+        // are observationally absent — skip them so identical logical
+        // state yields identical bytes.
+        let mut groups: Vec<(&Tuple, &Group)> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.state.entries().next().is_some())
+            .collect();
+        groups.sort_by(|a, b| a.0.cmp(b.0));
+        out.u64(groups.len() as u64);
+        for (key, g) in groups {
+            out.tuple(key);
+            // BTreeMap order: already canonical (Val ordering resolves
+            // symbols lexicographically, stable across processes).
+            let entries: Vec<_> = g.state.entries().collect();
+            out.u64(entries.len() as u64);
+            for (v, c) in entries {
+                out.val(*v);
+                out.i64(c);
+            }
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        input: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), DataflowError> {
+        self.groups.clear();
+        self.generation = 0;
+        // A group costs at least its 4-byte key prefix + 8-byte entry
+        // count; a value entry costs tag + payload + count = 17 bytes.
+        let n = input.count(12)?;
+        for _ in 0..n {
+            let key = input.tuple()?;
+            let m = input.count(17)?;
+            let mut state = OrderedMultiset::new();
+            for _ in 0..m {
+                let v = input.val()?;
+                let c = input.i64()?;
+                state.update(v, c);
+            }
+            // stamp 0 is always stale (generations start at 1), so the
+            // first post-restore batch recomputes `before` correctly.
+            self.groups.insert(
+                key,
+                Group {
+                    state,
+                    stamp: 0,
+                    before: None,
+                },
+            );
+        }
+        Ok(())
+    }
+
     fn name(&self) -> &str {
         "group-agg"
     }
@@ -865,6 +954,17 @@ impl Operator for Distinct {
 
     fn rollback_epoch(&mut self) {
         self.state.rollback_epoch();
+    }
+
+    fn checkpoint_state(&self, out: &mut crate::checkpoint::Enc) {
+        crate::checkpoint::encode_multiset(out, &self.state);
+    }
+
+    fn restore_state(
+        &mut self,
+        input: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), DataflowError> {
+        crate::checkpoint::decode_multiset(input, &mut self.state)
     }
 
     fn name(&self) -> &str {

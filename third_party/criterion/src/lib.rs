@@ -212,6 +212,44 @@ impl Bencher<'_> {
         samples.sort();
         self.result = Some(samples[samples.len() / 2]);
     }
+
+    /// Like [`Bencher::iter`], but the values the closure returns are
+    /// dropped *outside* the timed region (upstream criterion's API for
+    /// benchmarks whose deallocation cost should not pollute the
+    /// measurement — e.g. latency-to-ready of a freshly built state).
+    pub fn iter_with_large_drop<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_deadline = Instant::now() + self.settings.warm_up_time;
+        let iters_per_sample;
+        loop {
+            let t = Instant::now();
+            let r = black_box(f());
+            let dt = t.elapsed().max(Duration::from_nanos(1));
+            drop(r);
+            if Instant::now() >= warm_deadline {
+                let per_sample =
+                    self.settings.measurement_time / self.settings.sample_size as u32;
+                iters_per_sample =
+                    (per_sample.as_nanos() / dt.as_nanos()).clamp(1, 1_000_000) as u64;
+                break;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        let mut kept: Vec<R> = Vec::with_capacity(iters_per_sample as usize);
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                kept.push(black_box(f()));
+            }
+            samples.push(t.elapsed() / iters_per_sample as u32);
+            kept.clear();
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort();
+        self.result = Some(samples[samples.len() / 2]);
+    }
 }
 
 /// A named collection of related benchmarks sharing settings.
