@@ -12,9 +12,9 @@
 //!
 //! Scenarios: initial optimization (network construction + evaluation)
 //! and one incremental flip per §4 update kind (scan cost, join
-//! selectivity, leaf cardinality). Results land in BENCH_4.json via
-//! `REOPT_BENCH_JSON`; CI gates regressions against the committed
-//! baseline with `check_bench`.
+//! selectivity, leaf cardinality). Results land in the committed
+//! `BENCH_<pr>.json` baseline via `REOPT_BENCH_JSON`; CI gates
+//! regressions against it with `check_bench`.
 
 use std::time::Duration;
 

@@ -9,7 +9,9 @@
 //! shared runner easily exceeds any sane percentage — cannot flake the
 //! gate; ms-scale medians are unaffected. Benchmarks present in the
 //! baseline but missing from the current run fail the gate (a silently
-//! dropped bench is not a pass); new benchmarks are reported and
+//! dropped bench is not a pass), and an entire baseline *group* with no
+//! current entries fails with its own loud message — that shape means a
+//! bench binary never ran at all. New benchmarks are reported and
 //! ignored.
 
 use std::process::ExitCode;
@@ -64,6 +66,27 @@ fn run() -> Result<bool, String> {
     let baseline = parse_report(baseline_path)?;
     let current = parse_report(current_path)?;
     let mut ok = true;
+    // A whole baseline *group* (the name's prefix up to the first '/',
+    // i.e. one bench binary) absent from the current report means the
+    // binary never ran — a harness wiring failure, not a set of
+    // individually dropped benchmarks. Fail loudly and by name so the
+    // gate can't quietly pass on a partial run.
+    let group = |name: &str| name.split('/').next().unwrap_or(name).to_string();
+    let current_groups: std::collections::BTreeSet<String> =
+        current.iter().map(|(n, _)| group(n)).collect();
+    for g in baseline
+        .iter()
+        .map(|(n, _)| group(n))
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        if !current_groups.contains(&g) {
+            eprintln!(
+                "bench gate: baseline group '{g}' has no entries in the \
+                 current report — did its bench binary run?"
+            );
+            ok = false;
+        }
+    }
     println!(
         "{:<55} {:>12} {:>12} {:>8}  verdict",
         "benchmark", "baseline", "current", "ratio"

@@ -15,7 +15,12 @@
 //! - heads project bindings through a `Map`, evaluating constants,
 //!   subtraction chains and scalar `min<a,b>` combines; a one-argument
 //!   `min<x>`/`max<x>` head compiles to a (multi-column-key)
-//!   [`GroupAgg`] over the remaining head columns.
+//!   [`GroupAgg`] over the remaining head columns;
+//! - join sides that read a relation directly attach to *shared
+//!   arrangements*: one [`Arrange`] node per `(relation, key columns)`
+//!   maintains the keyed index, and every join demanding that index
+//!   probes it through a handle instead of keeping an owned copy (see
+//!   [`NetworkBuilder::share_arrangements`]).
 //!
 //! A relation may be *both* derived and a base input ("seeded"): the
 //! input feeds port 0 of the relation's union — how `Bound(root)` is
@@ -25,11 +30,12 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use reopt_common::FxHashMap;
+use reopt_common::{FxHashMap, FxHashSet};
 use reopt_core::rules_ir::{AggFunc, Atom, Rule, Term};
 use reopt_datalog::{
-    AggKind, Dataflow, DataflowError, Delta, Distinct, ExternalFn, FaultPlan, GroupAgg,
-    HashJoin, Map, Multiset, NodeId, RunStats, SchedulerMode, SinkId, Tuple, Union, Val,
+    AggKind, Arrange, ArrangementHandle, Dataflow, DataflowError, Delta, Distinct, ExternalFn,
+    FaultPlan, GroupAgg, HashJoin, Map, Multiset, NodeId, RunStats, SchedulerMode, SinkId,
+    Tuple, Union, Val,
 };
 
 /// The value standing in for the rules' `null` constant: a dedicated
@@ -94,6 +100,7 @@ pub struct NetworkBuilder {
     sinks: Vec<String>,
     mode: SchedulerMode,
     fusion: bool,
+    share_arrangements: bool,
 }
 
 impl Default for NetworkBuilder {
@@ -105,6 +112,7 @@ impl Default for NetworkBuilder {
             sinks: Vec::new(),
             mode: SchedulerMode::Batched,
             fusion: true,
+            share_arrangements: true,
         }
     }
 }
@@ -172,6 +180,17 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables or disables shared arrangements (default on). When on,
+    /// every join side that reads a relation directly probes a keyed
+    /// index maintained once per `(relation, key signature)` by an
+    /// [`Arrange`] node, instead of each join keeping an owned copy of
+    /// the same index. Dedup is by key columns, so `SearchSpace` joined
+    /// on `(expr,prop)` by several rules is indexed exactly once.
+    pub fn share_arrangements(mut self, on: bool) -> NetworkBuilder {
+        self.share_arrangements = on;
+        self
+    }
+
     /// Requests a materialized sink on a relation.
     pub fn sink(mut self, name: &str) -> NetworkBuilder {
         self.sinks.push(name.to_string());
@@ -199,6 +218,12 @@ struct Compiler {
     b: NetworkBuilder,
     df: Dataflow,
     rels: FxHashMap<String, RelInfo>,
+    /// Relation read nodes — the only join sides worth arranging:
+    /// anything else (a per-rule filter/projection `Map`) has exactly
+    /// one consumer, so a shared index could never be reused.
+    rel_reads: FxHashSet<NodeId>,
+    /// Shared indexes already built, by `(source node, key columns)`.
+    arrangements: FxHashMap<(NodeId, Vec<usize>), (NodeId, ArrangementHandle)>,
 }
 
 /// A partially compiled rule body: the node producing the current
@@ -222,6 +247,8 @@ impl Compiler {
             b,
             df,
             rels: FxHashMap::default(),
+            rel_reads: FxHashSet::default(),
+            arrangements: FxHashMap::default(),
         })
     }
 
@@ -254,6 +281,7 @@ impl Compiler {
             df: self.df,
             inputs,
             sinks,
+            arrangements: self.arrangements.len(),
         })
     }
 
@@ -376,10 +404,26 @@ impl Compiler {
                 }
             }
         }
+        self.rel_reads = self.rels.values().map(|r| r.read).collect();
         Ok(())
     }
 
+    /// The shared arrangement over `source` keyed on `key`, creating
+    /// its [`Arrange`] node on first demand.
+    fn arrangement(&mut self, source: NodeId, key: Vec<usize>) -> (NodeId, ArrangementHandle) {
+        if let Some(found) = self.arrangements.get(&(source, key.clone())) {
+            return found.clone();
+        }
+        let op = Arrange::new(key.clone());
+        let handle = op.handle();
+        let node = self.df.add_op(op, &[source]);
+        self.arrangements
+            .insert((source, key), (node, handle.clone()));
+        (node, handle)
+    }
+
     fn compile_rule(&mut self, rule: &Rule) -> Result<(), CompileError> {
+        let first_new = self.df.node_count();
         // Liveness, computed right-to-left: `needed[i]` holds the
         // variables referenced by body atoms after position `i` or by
         // the head — the only columns worth carrying past atom `i`.
@@ -425,6 +469,9 @@ impl Compiler {
         }
         let binding = binding.expect("parser guarantees a non-empty body");
         let out = self.compile_head(rule, binding)?;
+        // Tag every node this rule created with its label so profiling
+        // (`node_stats`) attributes work to rules, not bare op names.
+        self.df.label_suffix_from(first_new, &rule.label);
         let rel = self.rels.get_mut(&rule.head.relation).unwrap();
         let union = rel.union.expect("derived relation has a union");
         let port = rel.next_port;
@@ -541,12 +588,34 @@ impl Compiler {
                 vars.push(v.clone());
             }
         }
-        let join = if proj.len() == lw + right.vars.len() {
-            HashJoin::new(lk, rk)
+        let mut join = if proj.len() == lw + right.vars.len() {
+            HashJoin::new(lk.clone(), rk.clone())
         } else {
-            HashJoin::with_projection(lk, rk, proj)
+            HashJoin::with_projection(lk.clone(), rk.clone(), proj)
         };
-        let node = self.df.add_op(join, &[left.node, right.node]);
+        // Shared arrangements: a side reading a relation directly
+        // attaches to the keyed index maintained once per
+        // `(relation, key)` by an `Arrange` node; the join is rewired
+        // through that node so the index update always precedes the
+        // probe (the arrangement's sync-fanout dispatch). The same
+        // arrangement must never feed both ports — a self-join on one
+        // key keeps its right side owned.
+        let mut wire = [left.node, right.node];
+        let mut left_arr: Option<NodeId> = None;
+        if self.b.share_arrangements && self.rel_reads.contains(&left.node) {
+            let (node, handle) = self.arrangement(left.node, lk);
+            join = join.share_left(handle);
+            wire[0] = node;
+            left_arr = Some(node);
+        }
+        if self.b.share_arrangements && self.rel_reads.contains(&right.node) {
+            let (node, handle) = self.arrangement(right.node, rk);
+            if Some(node) != left_arr {
+                join = join.share_right(handle);
+                wire[1] = node;
+            }
+        }
+        let node = self.df.add_op(join, &wire);
         Binding { node, vars }
     }
 
@@ -850,12 +919,14 @@ pub struct RuleNetwork {
     df: Dataflow,
     inputs: FxHashMap<String, (NodeId, usize)>,
     sinks: FxHashMap<String, SinkId>,
+    arrangements: usize,
 }
 
 impl fmt::Debug for RuleNetwork {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RuleNetwork")
             .field("nodes", &self.df.node_count())
+            .field("arrangements", &self.arrangements)
             .field("inputs", &self.inputs.keys().collect::<Vec<_>>())
             .field("sinks", &self.sinks.keys().collect::<Vec<_>>())
             .finish()
@@ -939,6 +1010,18 @@ impl RuleNetwork {
     /// (diagnostics; 0 when fusion is disabled).
     pub fn fused_node_count(&self) -> usize {
         self.df.fused_node_count()
+    }
+
+    /// Per-node lifetime `(label, batches, deltas)` service counters
+    /// (see [`reopt_datalog::Dataflow::node_stats`]).
+    pub fn node_stats(&self) -> Vec<(String, u64, u64)> {
+        self.df.node_stats()
+    }
+
+    /// Number of shared arrangements the compiler built (diagnostics;
+    /// 0 when arrangement sharing is disabled).
+    pub fn arrangement_count(&self) -> usize {
+        self.arrangements
     }
 }
 
@@ -1199,6 +1282,59 @@ mod tests {
             assert_eq!(net.fused_node_count(), 0);
         }
         assert!(nets[0].fused_node_count() > 0, "no chains fused");
+    }
+
+    #[test]
+    fn shared_arrangements_dedup_indexes_and_preserve_results() {
+        // Three rules join on `R` keyed by its first column — with
+        // sharing on, that index is arranged exactly once (plus one for
+        // `S`); sinks match the owned-index build through mixed churn,
+        // including recursion through `Reach`.
+        let build = |share: bool| {
+            NetworkBuilder::new()
+                .share_arrangements(share)
+                .input("R", 2)
+                .input("S", 2)
+                .rule_texts([
+                    "A: Pair(x,z) :- R(x,y), S(y,z);",
+                    "B: Wide(x,y,z) :- R(x,y), R(y,z);",
+                    "C: Reach(x,y) :- R(x,y);",
+                    "D: Reach(x,z) :- Reach(x,y), R(y,z);",
+                ])
+                .unwrap()
+                .sink("Pair")
+                .sink("Wide")
+                .sink("Reach")
+                .build()
+                .unwrap()
+        };
+        let mut shared = build(true);
+        let mut owned = build(false);
+        assert!(shared.arrangement_count() > 0, "nothing was arranged");
+        assert_eq!(owned.arrangement_count(), 0);
+        let script: &[(&str, i64, i64, bool)] = &[
+            ("R", 1, 2, true),
+            ("R", 2, 3, true),
+            ("S", 2, 9, true),
+            ("R", 3, 4, true),
+            ("R", 2, 3, false),
+            ("S", 3, 7, true),
+            ("R", 2, 4, true),
+        ];
+        for &(rel, a, b, ins) in script {
+            for net in [&mut shared, &mut owned] {
+                if ins {
+                    net.insert(rel, ints(&[a, b]));
+                } else {
+                    net.delete(rel, ints(&[a, b]));
+                }
+                net.run().unwrap();
+            }
+        }
+        for rel in ["Pair", "Wide", "Reach"] {
+            assert!(!shared.sink(rel).has_negative_counts());
+            assert_eq!(shared.sink(rel).sorted(), owned.sink(rel).sorted(), "{rel}");
+        }
     }
 
     #[test]

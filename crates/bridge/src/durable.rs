@@ -94,6 +94,30 @@ pub fn wal_append(path: &Path, seq: u64, deltas: &[ParamDelta]) -> std::io::Resu
     f.sync_all()
 }
 
+/// Sweeps orphaned `*.tmp` staging files out of a durable directory.
+/// The atomic-checkpoint protocol writes `checkpoint.tmp`, fsyncs, then
+/// renames — a crash between the write and the rename strands the
+/// staging file. An orphan is never live state (the rename is what
+/// commits), but left behind it accumulates across crashes and is one
+/// `mv` away from masquerading as a checkpoint, so every startup path
+/// removes it. Returns how many files were swept; unreadable entries
+/// are skipped rather than failing the boot.
+pub fn sweep_tmp(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for path in entries.flatten().map(|e| e.path()) {
+        if path.extension().is_some_and(|e| e == "tmp")
+            && path.is_file()
+            && std::fs::remove_file(&path).is_ok()
+        {
+            swept += 1;
+        }
+    }
+    swept
+}
+
 /// The result of scanning a WAL file.
 pub struct WalScan {
     /// Every intact batch, in append order (index = record seq).
@@ -125,7 +149,7 @@ pub fn wal_records(bytes: &[u8]) -> Result<WalScan, DataflowError> {
             "unsupported WAL version {version} (reader speaks {VERSION})"
         )));
     }
-    let empty = SymRemap::from_strings(&[]);
+    let empty = SymRemap::from_strings(&[])?;
     let mut batches: Vec<Vec<ParamDelta>> = Vec::new();
     let mut pos = 8usize;
     let mut torn = false;
@@ -262,7 +286,7 @@ mod tests {
             let mut e = Enc::new();
             encode_delta(&mut e, &d);
             let bytes = e.into_bytes();
-            let empty = SymRemap::from_strings(&[]);
+            let empty = SymRemap::from_strings(&[]).unwrap();
             let mut dec = Dec::new(&bytes, &empty);
             assert_eq!(decode_delta(&mut dec).unwrap(), d);
         }

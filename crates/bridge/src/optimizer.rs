@@ -28,6 +28,30 @@
 //!   *best* costs). `Fn_sum` remains the external it is in R7/R8.
 //! - **D9–D10 ≙ R9–R10** (plan selection), verbatim: a grouped `min<>`
 //!   aggregate and the join back onto `PlanCost`.
+//! - **B1–B5 ≙ r1–r4** (recursive bounding, Figure 3): the bound rules
+//!   over the same 4-ary `LocalCost`. r1/r2 split into per-child rules
+//!   (B1/B2 for two-child alternatives, B3 for one-child — the `null`
+//!   child slot fails the `BestCost` join exactly as in D6–D8), B4 is
+//!   r3's `max<>` aggregate and B5 is r4's scalar `min<a,b>` combine.
+//!   `Bound` is a seeded derived relation: the driver maintains the
+//!   root seed `Bound(root) = BestCost(root)` across epochs.
+//!
+//! ## Pruning (§3.3)
+//!
+//! Pruning authority lives in the driver: a deterministic DP mirror of
+//! B1–B5 over the `LocalCost` mirror computes every group's exact best
+//! cost bottom-up and its bound top-down, and every alternative whose
+//! total exceeds its group's bound — except each group's argmin, which
+//! keeps `BestCost`/`BestPlan` exact — is *excluded from the network's
+//! `LocalCost` relation*. `SearchSpace` stays complete (enumeration is
+//! not pruned, only costing), so the declarative engine skips the cost
+//! propagation for hopeless alternatives exactly like the hand-rolled
+//! pruned engine. On every reoptimize the driver recomputes the prune
+//! set from the post-delta mirror and feeds the network the difference,
+//! so a pruned alternative that becomes viable is re-costed and a newly
+//! hopeless one is retracted. The in-network B1–B5 derivations are the
+//! *parity diagnostic*: on an unpruned network the materialized `Bound`
+//! sink must equal the driver's DP (pinned by tests).
 //!
 //! Column encoding: `expr` packs an [`ExprId`] (`rel` bits and the `agg`
 //! flag) into an `Int`; `prop` is a dense index into the query's
@@ -53,7 +77,7 @@ use crate::durable;
 
 /// The executable elaboration of the paper's rule program (see the
 /// module docs for the R→D mapping).
-pub const DATAFLOW_RULES: [&str; 8] = [
+pub const DATAFLOW_RULES: [&str; 13] = [
     "D1: SearchSpace(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp) :- \
      Expr(expr,prop), Fn_split(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp);",
     "D2: SearchSpace(expr,prop,index,logOp,phyOp,lExpr,lProp,rExpr,rProp) :- \
@@ -65,17 +89,38 @@ pub const DATAFLOW_RULES: [&str; 8] = [
     "D6: PlanCost(expr,prop,index,cost) :- \
      SearchSpace(expr,prop,index,-,-,null,null,null,null), \
      LocalCost(expr,prop,index,cost);",
+    // D7/D8 join `LocalCost` *before* the `BestCost` atoms: the driver
+    // expresses pruning by withholding `LocalCost` rows, so putting it
+    // first makes the (static) `SearchSpace ⋈ LocalCost` prefix a
+    // live-alternatives filter. `BestCost` deltas — the hot traffic of
+    // every reoptimization epoch — then probe an index that holds only
+    // unpruned alternatives, and the prefix join sits outside the
+    // recursive D6–D9 component. Joins are commutative, so the derived
+    // tuples (and the `Fn_sum` evaluation order) are unchanged.
     "D7: PlanCost(expr,prop,index,cost) :- \
      SearchSpace(expr,prop,index,-,-,lExpr,lProp,null,null), \
-     BestCost(lExpr,lProp,lCost), LocalCost(expr,prop,index,localCost), \
+     LocalCost(expr,prop,index,localCost), BestCost(lExpr,lProp,lCost), \
      Fn_sum(lCost,null,localCost,cost);",
     "D8: PlanCost(expr,prop,index,cost) :- \
      SearchSpace(expr,prop,index,-,-,lExpr,lProp,rExpr,rProp), \
+     LocalCost(expr,prop,index,localCost), \
      BestCost(lExpr,lProp,lCost), BestCost(rExpr,rProp,rCost), \
-     LocalCost(expr,prop,index,localCost), Fn_sum(lCost,rCost,localCost,cost);",
+     Fn_sum(lCost,rCost,localCost,cost);",
     "D9: BestCost(expr,prop,min<cost>) :- PlanCost(expr,prop,index,cost);",
     "D10: BestPlan(expr,prop,index,cost) :- \
      BestCost(expr,prop,cost), PlanCost(expr,prop,index,cost);",
+    "B1: ParentBound(lExpr,lProp,bound-rCost-localCost) :- \
+     Bound(expr,prop,bound), SearchSpace(expr,prop,index,-,-,lExpr,lProp,rExpr,rProp), \
+     LocalCost(expr,prop,index,localCost), BestCost(rExpr,rProp,rCost);",
+    "B2: ParentBound(rExpr,rProp,bound-lCost-localCost) :- \
+     Bound(expr,prop,bound), SearchSpace(expr,prop,index,-,-,lExpr,lProp,rExpr,rProp), \
+     LocalCost(expr,prop,index,localCost), BestCost(lExpr,lProp,lCost);",
+    "B3: ParentBound(lExpr,lProp,bound-localCost) :- \
+     Bound(expr,prop,bound), SearchSpace(expr,prop,index,-,-,lExpr,lProp,null,null), \
+     LocalCost(expr,prop,index,localCost);",
+    "B4: MaxBound(expr,prop,max<bound>) :- ParentBound(expr,prop,bound);",
+    "B5: Bound(expr,prop,min<minCost,maxBound>) :- \
+     BestCost(expr,prop,minCost), MaxBound(expr,prop,maxBound);",
 ];
 
 /// The executable program in IR form.
@@ -83,29 +128,44 @@ pub fn dataflow_program() -> Vec<Rule> {
     parse_rules(DATAFLOW_RULES).expect("the executable rules parse (pinned by tests)")
 }
 
-/// Dense encoding of the physical-property column.
+/// Dense encoding of the physical-property column. Interior mutability
+/// because the table is shared (`Rc`) with the `Fn_split` closure and
+/// must keep assigning ids after the network is built: a `PhysProp`
+/// first introduced by later reoptimization gets a fresh dense id on
+/// first encode instead of panicking on the build-time map.
 struct PropTable {
-    by_prop: FxHashMap<PhysProp, i64>,
-    props: Vec<PhysProp>,
+    by_prop: std::cell::RefCell<FxHashMap<PhysProp, i64>>,
+    props: std::cell::RefCell<Vec<PhysProp>>,
 }
 
 impl PropTable {
     fn new(memo: &Memo) -> PropTable {
-        let mut t = PropTable {
-            by_prop: FxHashMap::default(),
-            props: Vec::new(),
+        let t = PropTable {
+            by_prop: std::cell::RefCell::new(FxHashMap::default()),
+            props: std::cell::RefCell::new(Vec::new()),
         };
         for g in &memo.groups {
-            if !t.by_prop.contains_key(&g.prop) {
-                t.by_prop.insert(g.prop, t.props.len() as i64);
-                t.props.push(g.prop);
-            }
+            t.encode(g.prop);
         }
         t
     }
 
+    /// The dense id of `p`, assigned on first sight (insert-on-miss).
     fn encode(&self, p: PhysProp) -> Val {
-        Val::Int(self.by_prop[&p])
+        if let Some(&i) = self.by_prop.borrow().get(&p) {
+            return Val::Int(i);
+        }
+        let mut by_prop = self.by_prop.borrow_mut();
+        let mut props = self.props.borrow_mut();
+        let i = props.len() as i64;
+        by_prop.insert(p, i);
+        props.push(p);
+        Val::Int(i)
+    }
+
+    /// The property behind a dense id (the `Fn_split` decode path).
+    fn decode(&self, i: i64) -> PhysProp {
+        self.props.borrow()[i as usize]
     }
 }
 
@@ -240,6 +300,11 @@ pub struct DataflowOptimizer {
     /// (or by [`DataflowOptimizer::recover`]). `None` keeps the optimizer
     /// purely in-memory, exactly as before.
     durable: Option<Durable>,
+    /// Driver-side pruning (the B1–B5 DP mirror; see module docs).
+    pruning: Pruning,
+    /// Cached [`topo_order`] of the (immutable) memo, reused by every
+    /// per-epoch [`BoundDp::compute`].
+    topo: Vec<GroupId>,
 }
 
 /// WAL bookkeeping for a durably armed optimizer.
@@ -312,8 +377,173 @@ impl DirtyIndex {
     }
 }
 
+/// Driver-side pruning state: which alternatives are currently excluded
+/// from the network's `LocalCost` relation, and the `Bound(root)` seed
+/// value the network currently holds.
+struct Pruning {
+    enabled: bool,
+    pruned: Vec<bool>,
+    root_bound: Option<Cost>,
+}
+
+/// The DP mirror of rules B1–B5 (see the module docs): exact best cost
+/// per group bottom-up, bound per group top-down. With `mask`, masked
+/// alternatives contribute neither totals nor allowances — the state an
+/// already-pruned network computes, used by the parity diagnostic; the
+/// *pruning decision* always runs unmasked.
+struct BoundDp {
+    /// Total cost per alternative (`Fn_sum` association order, so the
+    /// values agree bit-for-bit with the network's `PlanCost`).
+    alt_cost: Vec<Cost>,
+    /// Best total per group, and the alternative achieving it.
+    best: Vec<Cost>,
+    argmin: Vec<Option<AltId>>,
+    /// `min(best, max over parent allowances)`; the root's is its best.
+    /// `None` for a group no unmasked parent alternative bounds.
+    bound: Vec<Option<Cost>>,
+}
+
+/// Postorder topological order of the memo's groups from the root:
+/// children before parents. The memo is immutable after construction,
+/// so the driver computes this once and reuses it for every per-epoch
+/// [`BoundDp::compute`].
+fn topo_order(memo: &Memo) -> Vec<GroupId> {
+    let n_groups = memo.n_groups();
+    let mut order: Vec<GroupId> = Vec::with_capacity(n_groups);
+    let mut seen = vec![false; n_groups];
+    let mut stack: Vec<(GroupId, bool)> = vec![(memo.root, false)];
+    while let Some((g, expanded)) = stack.pop() {
+        if expanded {
+            order.push(g);
+            continue;
+        }
+        // Expansion marks `seen`, not the push: a group pushed
+        // before being reached again deeper in the DAG must still
+        // be expanded at its deepest position so every child
+        // precedes every parent in the postorder.
+        if seen[g.0 as usize] {
+            continue;
+        }
+        seen[g.0 as usize] = true;
+        stack.push((g, true));
+        for a in memo.alts_of(g) {
+            for c in memo.alt(a).children() {
+                if !seen[c.0 as usize] {
+                    stack.push((c, false));
+                }
+            }
+        }
+    }
+    order
+}
+
+impl BoundDp {
+    /// `order` must be [`topo_order`] of the same memo (postorder:
+    /// children before parents; its reverse visits parents first).
+    fn compute(memo: &Memo, local: &[Cost], mask: Option<&[bool]>, order: &[GroupId]) -> BoundDp {
+        let n_groups = memo.n_groups();
+        let masked = |a: AltId| mask.is_some_and(|m| m[a.0 as usize]);
+        let mut dp = BoundDp {
+            alt_cost: vec![Cost::INFINITY; memo.n_alts()],
+            best: vec![Cost::INFINITY; n_groups],
+            argmin: vec![None; n_groups],
+            bound: vec![None; n_groups],
+        };
+        for &g in order {
+            for a in memo.alts_of(g) {
+                if masked(a) {
+                    continue;
+                }
+                let alt = memo.alt(a);
+                // Fn_sum's association order: local, then left, right.
+                let mut c = local[a.0 as usize];
+                if let Some(l) = alt.left {
+                    c += dp.best[l.0 as usize];
+                }
+                if let Some(r) = alt.right {
+                    c += dp.best[r.0 as usize];
+                }
+                dp.alt_cost[a.0 as usize] = c;
+                let gi = g.0 as usize;
+                if c < dp.best[gi] {
+                    dp.best[gi] = c;
+                    dp.argmin[gi] = Some(a);
+                }
+            }
+        }
+        // Top-down: each group's bound is fixed before its children's
+        // allowances are derived from it (reverse topological order).
+        let mut max_bound: Vec<Option<Cost>> = vec![None; n_groups];
+        let relax = |mb: &mut Option<Cost>, allowance: Cost| match mb {
+            Some(prev) if *prev >= allowance => {}
+            _ => *mb = Some(allowance),
+        };
+        for &g in order.iter().rev() {
+            let gi = g.0 as usize;
+            dp.bound[gi] = if g == memo.root {
+                // The seeded `Bound(root)`: never settle for worse than
+                // the best plan already known.
+                Some(dp.best[gi])
+            } else {
+                // B5: min(minCost, maxBound); ties keep the first
+                // argument, matching the scalar combine.
+                max_bound[gi].map(|mb| if mb < dp.best[gi] { mb } else { dp.best[gi] })
+            };
+            let Some(b) = dp.bound[gi] else { continue };
+            for a in memo.alts_of(g) {
+                if masked(a) {
+                    continue;
+                }
+                let alt = memo.alt(a);
+                let local_cost = local[a.0 as usize];
+                match (alt.left, alt.right) {
+                    (Some(l), Some(r)) => {
+                        // B1/B2 subtraction chains, in rule order.
+                        let al = b - dp.best[r.0 as usize] - local_cost;
+                        relax(&mut max_bound[l.0 as usize], al);
+                        let ar = b - dp.best[l.0 as usize] - local_cost;
+                        relax(&mut max_bound[r.0 as usize], ar);
+                    }
+                    (Some(l), None) => {
+                        // B3: the single child gets the full remainder.
+                        relax(&mut max_bound[l.0 as usize], b - local_cost);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        dp
+    }
+
+    /// The prune set: alternatives costlier than their group's bound,
+    /// except each group's argmin (so `BestCost` stays exact and plan
+    /// extraction always finds a row per group).
+    fn prune_set(&self, memo: &Memo) -> Vec<bool> {
+        let mut pruned = vec![false; memo.n_alts()];
+        for gi in 0..memo.n_groups() as u32 {
+            let g = GroupId(gi);
+            let Some(b) = self.bound[gi as usize] else {
+                continue;
+            };
+            for a in memo.alts_of(g) {
+                if self.alt_cost[a.0 as usize] > b && self.argmin[gi as usize] != Some(a) {
+                    pruned[a.0 as usize] = true;
+                }
+            }
+        }
+        pruned
+    }
+}
+
 impl DataflowOptimizer {
     pub fn new(catalog: &Catalog, q: QuerySpec) -> DataflowOptimizer {
+        DataflowOptimizer::with_pruning(catalog, q, true)
+    }
+
+    /// Builds the optimizer with driver-side pruning on or off. Pruning
+    /// is on by default; the unpruned build is the reference for the
+    /// pruning differential and the `Bound` parity diagnostic.
+    pub fn with_pruning(catalog: &Catalog, q: QuerySpec, pruning: bool) -> DataflowOptimizer {
         let graph = JoinGraph::new(&q);
         let memo = Rc::new(Memo::build(&q, &graph));
         let ctx = CostContext::new(catalog, &q);
@@ -321,6 +551,12 @@ impl DataflowOptimizer {
         let net = build_network(Rc::clone(&memo), Rc::clone(&props));
         let local = vec![Cost::INFINITY; memo.n_alts()];
         let dirty_index = DirtyIndex::build(&memo, &ctx, &q);
+        let topo = topo_order(&memo);
+        let pruning = Pruning {
+            enabled: pruning,
+            pruned: vec![false; memo.n_alts()],
+            root_bound: None,
+        };
         DataflowOptimizer {
             q,
             memo,
@@ -335,6 +571,8 @@ impl DataflowOptimizer {
             audit: AuditMode::from_env(),
             epochs_seen: 0,
             durable: None,
+            pruning,
+            topo,
         }
     }
 
@@ -362,6 +600,14 @@ impl DataflowOptimizer {
                     self.local[a.0 as usize] = self.ctx.local_cost(&self.q, expr, prop, &spec);
                 }
             }
+            // One DP pass gives both the prune set (pruned builds) and
+            // the `Bound(root)` seed (diagnostic builds; see
+            // `seed_network` for why the seed is gated).
+            let dp = BoundDp::compute(&self.memo, &self.local, None, &self.topo);
+            if self.pruning.enabled {
+                self.pruning.pruned = dp.prune_set(&self.memo);
+            }
+            self.pruning.root_bound = dp.bound[self.memo.root.0 as usize];
             self.seed_network();
         }
         let (stats, recovery) = self.run_recovering();
@@ -403,6 +649,10 @@ impl DataflowOptimizer {
         }
         candidates.sort_unstable_by_key(|a| a.0);
         candidates.dedup();
+        // Re-evaluate the candidates' local costs in the mirror first;
+        // `old_values` remembers what the network currently holds for
+        // the alternatives whose value changed.
+        let mut old_values: FxHashMap<AltId, Cost> = FxHashMap::default();
         for a in candidates {
             let (expr, prop) = {
                 let d = self.memo.group(self.memo.alt(a).group);
@@ -415,11 +665,12 @@ impl DataflowOptimizer {
                 continue;
             }
             self.local[a.0 as usize] = new;
-            let retract = self.local_tuple(expr, prop, a, old);
-            let assert = self.local_tuple(expr, prop, a, new);
-            self.net.delete("LocalCost", retract);
-            self.net.insert("LocalCost", assert);
+            old_values.insert(a, old);
         }
+        // All network deltas — value updates, prune retractions and
+        // re-assertions, and the root Bound seed — flow through one
+        // diffing pass so the network always mirrors the driver state.
+        self.push_pruned_diff(&old_values);
         let (stats, mut recovery) = self.run_recovering();
         if let Some(e) = wal_error {
             recovery.errors.insert(0, e);
@@ -482,8 +733,9 @@ impl DataflowOptimizer {
             .expect("a fresh fault-free network converges")
     }
 
-    /// Seeds a freshly built network: the root `Expr` demand plus the
-    /// full `LocalCost` relation from the mirror.
+    /// Seeds a freshly built network: the root `Expr` demand, the
+    /// unpruned slice of the `LocalCost` relation from the mirror, and
+    /// the `Bound(root)` seed when pruning is armed.
     fn seed_network(&mut self) {
         let root = self.memo.group(self.memo.root);
         self.net.insert(
@@ -497,10 +749,93 @@ impl DataflowOptimizer {
                 (d.expr, d.prop)
             };
             for a in self.memo.alts_of(g) {
+                if self.pruning.pruned[a.0 as usize] {
+                    continue;
+                }
                 let t = self.local_tuple(expr, prop, a, self.local[a.0 as usize]);
                 self.net.insert("LocalCost", t);
             }
         }
+        // The `Bound(root)` seed is planted only on unpruned builds,
+        // where it drives the in-network B1–B5 derivation that the
+        // parity diagnostic checks against the driver DP. On pruned
+        // builds the driver DP is the pruning authority (it already
+        // excluded the pruned `LocalCost` rows above) and the seed is
+        // withheld: a maintained in-network bound would re-derive the
+        // whole `Bound` relation every epoch — the root's best cost
+        // moves on almost every update — turning each incremental
+        // epoch into a full bound cascade for no additional pruning.
+        if !self.pruning.enabled {
+            if let Some(b) = self.pruning.root_bound {
+                let t = self.bound_tuple(root.expr, root.prop, b);
+                self.net.insert("Bound", t);
+            }
+        }
+    }
+
+    /// Recomputes the prune set from the post-delta mirror and feeds
+    /// the network the difference: value updates for surviving
+    /// alternatives, retractions for newly pruned ones, assertions for
+    /// newly viable ones, and the root `Bound` seed update. The driver
+    /// is the pruning authority — the DP runs over *all* alternatives,
+    /// so an alternative the network never costed still re-enters the
+    /// moment a delta makes it viable.
+    fn push_pruned_diff(&mut self, old_values: &FxHashMap<AltId, Cost>) {
+        let dp = BoundDp::compute(&self.memo, &self.local, None, &self.topo);
+        let new_pruned = if self.pruning.enabled {
+            dp.prune_set(&self.memo)
+        } else {
+            vec![false; self.memo.n_alts()]
+        };
+        let new_root_bound = dp.bound[self.memo.root.0 as usize];
+        for gi in 0..self.memo.n_groups() as u32 {
+            let g = GroupId(gi);
+            let (expr, prop) = {
+                let d = self.memo.group(g);
+                (d.expr, d.prop)
+            };
+            for a in self.memo.alts_of(g) {
+                let i = a.0 as usize;
+                let was_in = !self.pruning.pruned[i];
+                let now_in = !new_pruned[i];
+                let nv = self.local[i];
+                // What the network holds for a present row: the
+                // pre-delta value for this batch's candidates, the
+                // (unchanged) mirror value for everything else.
+                let ov = old_values.get(&a).copied().unwrap_or(nv);
+                match (was_in, now_in) {
+                    (true, true) if ov != nv => {
+                        let retract = self.local_tuple(expr, prop, a, ov);
+                        let assert = self.local_tuple(expr, prop, a, nv);
+                        self.net.delete("LocalCost", retract);
+                        self.net.insert("LocalCost", assert);
+                    }
+                    (true, false) => {
+                        let retract = self.local_tuple(expr, prop, a, ov);
+                        self.net.delete("LocalCost", retract);
+                    }
+                    (false, true) => {
+                        let assert = self.local_tuple(expr, prop, a, nv);
+                        self.net.insert("LocalCost", assert);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Seed maintenance mirrors `seed_network`: unpruned builds only.
+        if !self.pruning.enabled && new_root_bound != self.pruning.root_bound {
+            let root = self.memo.group(self.memo.root);
+            if let Some(old) = self.pruning.root_bound {
+                let t = self.bound_tuple(root.expr, root.prop, old);
+                self.net.delete("Bound", t);
+            }
+            if let Some(new) = new_root_bound {
+                let t = self.bound_tuple(root.expr, root.prop, new);
+                self.net.insert("Bound", t);
+            }
+        }
+        self.pruning.pruned = new_pruned;
+        self.pruning.root_bound = new_root_bound;
     }
 
     /// Appends to the applied-delta log, keeping only the last write
@@ -544,7 +879,7 @@ impl DataflowOptimizer {
     ///    ([`IncrementalOptimizer::check_invariants`]) and agrees on
     ///    the best cost.
     fn audit_now(&mut self) -> Result<(), DataflowError> {
-        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+        for name in ["SearchSpace", "BestCost", "BestPlan", "Bound"] {
             for (t, c) in self.net.sink(name).iter() {
                 if c < 0 {
                     return Err(DataflowError::InvariantViolation(format!(
@@ -574,13 +909,25 @@ impl DataflowOptimizer {
                         a.0, self.local[a.0 as usize]
                     )));
                 }
-                fresh.insert("LocalCost", self.local_tuple(expr, prop, a, c));
+                // The fresh network seeds the same prune set as the
+                // live one — the driver is the pruning authority, so
+                // an equal-state recompute excludes the same rows.
+                if !self.pruning.pruned[a.0 as usize] {
+                    fresh.insert("LocalCost", self.local_tuple(expr, prop, a, c));
+                }
+            }
+        }
+        // Gated exactly like `seed_network`: the diagnostic seed exists
+        // only on unpruned builds, so the recompute must match.
+        if !self.pruning.enabled {
+            if let Some(b) = self.pruning.root_bound {
+                fresh.insert("Bound", self.bound_tuple(root.expr, root.prop, b));
             }
         }
         fresh.run().map_err(|e| {
             DataflowError::InvariantViolation(format!("audit: from-scratch recompute failed: {e}"))
         })?;
-        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+        for name in ["SearchSpace", "BestCost", "BestPlan", "Bound"] {
             let live = counted(self.net.sink(name));
             let want = counted(fresh.sink(name));
             if live != want {
@@ -655,6 +1002,7 @@ impl DataflowOptimizer {
     pub fn set_durable_dir(&mut self, dir: impl Into<PathBuf>) -> std::io::Result<()> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        durable::sweep_tmp(&dir);
         let wal_path = dir.join(durable::WAL_FILE);
         let wal_seq = match std::fs::read(&wal_path) {
             Err(_) => {
@@ -760,7 +1108,7 @@ impl DataflowOptimizer {
         }
         // Bridge-level records carry no symbols (the net blob embeds its
         // own table), so an empty remap suffices.
-        let remap = SymRemap::from_strings(&[]);
+        let remap = SymRemap::from_strings(&[])?;
         let mut r = RecordReader::new(bytes, MAGIC)?;
 
         let meta = need(r.next_record()?)?;
@@ -825,6 +1173,14 @@ impl DataflowOptimizer {
         self.local = local;
         self.epochs_seen = epochs_seen;
         self.initialized = true;
+        // The prune set is a deterministic function of the mirror, so
+        // it is recomputed rather than persisted; it must equal what
+        // the checkpointed instance excluded from the restored network.
+        let dp = BoundDp::compute(&self.memo, &self.local, None, &self.topo);
+        if self.pruning.enabled {
+            self.pruning.pruned = dp.prune_set(&self.memo);
+        }
+        self.pruning.root_bound = dp.bound[self.memo.root.0 as usize];
         Ok(watermark)
     }
 
@@ -837,7 +1193,7 @@ impl DataflowOptimizer {
     /// `check_invariants` and agree on the best cost.
     fn post_restore_verify(&mut self) -> Result<(), DataflowError> {
         let bad = |msg: String| Err(DataflowError::StateCorruption(msg));
-        for name in ["SearchSpace", "BestCost", "BestPlan"] {
+        for name in ["SearchSpace", "BestCost", "BestPlan", "Bound"] {
             for (t, c) in self.net.sink(name).iter() {
                 if c < 0 {
                     return bad(format!(
@@ -897,6 +1253,9 @@ impl DataflowOptimizer {
     ) -> std::io::Result<(DataflowOptimizer, DataflowOutcome)> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        // A crash between "write checkpoint.tmp" and "rename" strands
+        // the staging file; it is dead bytes, never recovered state.
+        durable::sweep_tmp(dir);
         let mut errors: Vec<DataflowError> = Vec::new();
 
         let wal_path = dir.join(durable::WAL_FILE);
@@ -1007,6 +1366,10 @@ impl DataflowOptimizer {
         ])
     }
 
+    fn bound_tuple(&self, expr: ExprId, prop: PhysProp, b: Cost) -> Tuple {
+        Tuple::new(vec![encode_expr(expr), self.props.encode(prop), Val::Cost(b)])
+    }
+
     fn outcome(&self, stats: RunStats, recovery: RecoveryReport) -> DataflowOutcome {
         DataflowOutcome {
             cost: self.best_cost(),
@@ -1074,6 +1437,42 @@ impl DataflowOptimizer {
     pub fn fused_nodes(&self) -> usize {
         self.net.fused_node_count()
     }
+
+    /// Shared arrangements the compiler built for the executable
+    /// program (diagnostics).
+    pub fn arrangements(&self) -> usize {
+        self.net.arrangement_count()
+    }
+
+    /// Per-node `(label, batches, deltas)` lifetime service counters of
+    /// the live network (profiling diagnostics).
+    pub fn node_stats(&self) -> Vec<(String, u64, u64)> {
+        self.net.node_stats()
+    }
+
+    /// Alternatives currently excluded from the network's `LocalCost`
+    /// relation by driver-side pruning (diagnostics; 0 when pruning is
+    /// off).
+    pub fn pruned_alternatives(&self) -> usize {
+        self.pruning.pruned.iter().filter(|&&p| p).count()
+    }
+
+    /// The driver's DP bounds per group, encoded exactly like the
+    /// network's `Bound` rows — the parity diagnostic compares this
+    /// against the materialized `Bound` sink on an unpruned build.
+    pub fn driver_bounds(&self) -> Vec<Tuple> {
+        let dp = BoundDp::compute(&self.memo, &self.local, None, &self.topo);
+        let mut rows = Vec::new();
+        for gi in 0..self.memo.n_groups() as u32 {
+            let g = GroupId(gi);
+            if let Some(b) = dp.bound[gi as usize] {
+                let d = self.memo.group(g);
+                rows.push(self.bound_tuple(d.expr, d.prop, b));
+            }
+        }
+        rows.sort();
+        rows
+    }
 }
 
 /// Dedup key for the applied-delta log: parameter kind plus id.
@@ -1126,6 +1525,9 @@ fn build_network(memo: Rc<Memo>, props: Rc<PropTable>) -> RuleNetwork {
     NetworkBuilder::new()
         .input("Expr", 2)
         .input("LocalCost", 4)
+        // Seeded derived relation: the driver maintains `Bound(root)`
+        // as a base fact; B5 derives the rest of the relation.
+        .input("Bound", 3)
         .rules(dataflow_program())
         // Fn_split(expr,prop | index,logOp,phyOp,lExpr,lProp,rExpr,rProp):
         // every alternative of the demanded (expr,prop) group, from the
@@ -1140,7 +1542,7 @@ fn build_network(memo: Rc<Memo>, props: Rc<PropTable>) -> RuleNetwork {
                 rel: reopt_expr::RelSet((e >> 1) as u32),
                 agg: e & 1 == 1,
             };
-            let prop = split_props.props[p as usize];
+            let prop = split_props.decode(p);
             let Some(g) = split_memo.lookup(expr, prop) else {
                 return;
             };
@@ -1165,6 +1567,7 @@ fn build_network(memo: Rc<Memo>, props: Rc<PropTable>) -> RuleNetwork {
         .sink("SearchSpace")
         .sink("BestCost")
         .sink("BestPlan")
+        .sink("Bound")
         .build()
         .expect("the executable program compiles (pinned by tests)")
 }
@@ -1203,7 +1606,7 @@ mod tests {
 
     #[test]
     fn the_executable_program_parses_and_compiles() {
-        assert_eq!(dataflow_program().len(), 8);
+        assert_eq!(dataflow_program().len(), 13);
         let c = fixture_catalog();
         let opt = DataflowOptimizer::new(&c, chain_query(&c, 3));
         assert!(opt.network_nodes() > 10);
@@ -1304,6 +1707,7 @@ mod tests {
             df.network_nodes() > df.memo().n_alts() / 10,
             "sanity: network exists"
         );
+        assert!(df.arrangements() > 0, "compiler shared no arrangements");
         let init = df.optimize();
         assert!(init.stats.fused_stages_saved > 0, "{:?}", init.stats);
         assert!(
@@ -1509,5 +1913,98 @@ mod tests {
             out.stats.deltas_processed,
             init.stats.deltas_processed
         );
+    }
+
+    #[test]
+    fn prop_table_interns_unseen_properties_instead_of_panicking() {
+        // Regression: `encode` used to index a map frozen at build time
+        // and panicked on any property the memo's groups never carried
+        // (reachable through probe paths that price foreign interesting
+        // orders). It now interns on miss with a stable fresh id.
+        let c = fixture_catalog();
+        let q = chain_query(&c, 3);
+        let memo = Memo::build(&q, &JoinGraph::new(&q));
+        let props = PropTable::new(&memo);
+        let alien = PhysProp::Sorted(reopt_expr::LeafCol::new(97, 42));
+        let Val::Int(id) = props.encode(alien) else {
+            panic!("encode yields dense Int ids")
+        };
+        assert_eq!(props.encode(alien), Val::Int(id), "fresh ids are stable");
+        assert_eq!(props.decode(id), alien);
+        let Val::Int(any) = props.encode(PhysProp::Any) else {
+            panic!("encode yields dense Int ids")
+        };
+        assert_ne!(any, id, "known properties keep their dense ids");
+        assert_eq!(props.decode(any), PhysProp::Any);
+    }
+
+    #[test]
+    fn pruned_and_unpruned_builds_agree_with_hand_rolled() {
+        // The pruning differential: driver-side pruning must be purely
+        // an optimization — costs stay exact against both the unpruned
+        // network and the hand-rolled engine across every fixture and a
+        // mixed update sequence (including a revert), while SearchSpace
+        // stays complete so Fn_split demand is unaffected.
+        let c = fixture_catalog();
+        let batches: Vec<Vec<ParamDelta>> = vec![
+            vec![ParamDelta::EdgeSelectivity(EdgeId(0), 7.0)],
+            vec![ParamDelta::LeafCardinality(LeafId(1), 0.3)],
+            vec![ParamDelta::LeafScanCost(LeafId(0), 5.0)],
+            vec![ParamDelta::EdgeSelectivity(EdgeId(0), 1.0)], // revert
+        ];
+        let mut ever_pruned = 0usize;
+        for q in fixture_queries() {
+            let mut pruned = DataflowOptimizer::new(&c, q.clone());
+            let mut full = DataflowOptimizer::with_pruning(&c, q.clone(), false);
+            let mut hand = IncrementalOptimizer::new(&c, q.clone(), PruningConfig::none());
+            let w = hand.optimize();
+            assert_agree(&pruned.optimize(), &w, &q.name);
+            assert_agree(&full.optimize(), &w, &format!("{} unpruned", q.name));
+            assert_eq!(full.pruned_alternatives(), 0, "{}", q.name);
+            assert_eq!(pruned.search_space_size(), pruned.memo().n_alts(), "{}", q.name);
+            ever_pruned += pruned.pruned_alternatives();
+            for batch in &batches {
+                let a = pruned.reoptimize(batch);
+                let b = full.reoptimize(batch);
+                let want = hand.reoptimize(batch);
+                assert_agree(&a, &want, &format!("{} pruned after {batch:?}", q.name));
+                assert_agree(&b, &want, &format!("{} unpruned after {batch:?}", q.name));
+                assert_eq!(
+                    pruned.search_space_size(),
+                    pruned.memo().n_alts(),
+                    "{}: pruning leaked into SearchSpace",
+                    q.name
+                );
+            }
+            pruned.audit().expect("pruned state passes the audit");
+        }
+        assert!(ever_pruned > 0, "pruning never excluded an alternative");
+    }
+
+    #[test]
+    fn bound_sink_matches_the_driver_dp_on_an_unpruned_build() {
+        // Parity diagnostic for the in-network B1–B5 rules: on a build
+        // whose LocalCost relation is complete, the materialized
+        // `Bound` sink must equal the driver DP row-for-row — same
+        // groups, bit-identical bound values (both sides subtract and
+        // aggregate in the same order).
+        let c = fixture_catalog();
+        for q in fixture_queries() {
+            let mut df = DataflowOptimizer::with_pruning(&c, q.clone(), false);
+            df.optimize();
+            let check = |df: &DataflowOptimizer, what: &str| {
+                let mut got: Vec<Tuple> = df
+                    .sink("Bound")
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(t, _)| t.clone())
+                    .collect();
+                got.sort();
+                assert_eq!(got, df.driver_bounds(), "{what}");
+            };
+            check(&df, &q.name);
+            df.reoptimize(&[ParamDelta::EdgeSelectivity(EdgeId(0), 6.0)]);
+            check(&df, &format!("{} after a selectivity delta", q.name));
+        }
     }
 }

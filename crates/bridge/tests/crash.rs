@@ -428,6 +428,93 @@ fn torn_wal_tail_is_discarded_and_the_log_heals() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Crash between "write `checkpoint.tmp`" and "rename over
+/// `checkpoint.bin`": the stranded staging file must be swept on every
+/// startup path, never read as state. Three crash points are staged —
+/// a torn tmp next to a good checkpoint, a torn tmp with no checkpoint
+/// at all (crash during the very first snapshot), and re-arming a live
+/// directory — and in each the recovered optimizer matches the oracle
+/// while the orphan is gone from disk.
+#[test]
+fn stale_checkpoint_tmp_files_are_swept_on_startup() {
+    let (c, q) = chain5();
+    let batches = chain5_batches(&q);
+    let tmp_name = "checkpoint.tmp"; // what write_atomic stages
+
+    let mut oracle = DataflowOptimizer::new(&c, q.clone());
+    oracle.set_audit_mode(AuditMode::Off);
+    oracle.optimize();
+    for batch in &batches {
+        oracle.reoptimize(batch);
+    }
+
+    // Crash point A: a later checkpoint died after staging its tmp but
+    // before the rename — the old checkpoint.bin is still the truth.
+    let dir = fresh_dir("tmp-sweep-a");
+    let mut victim = DataflowOptimizer::new(&c, q.clone());
+    victim.set_audit_mode(AuditMode::Off);
+    victim.set_durable_dir(&dir).unwrap();
+    victim.optimize();
+    for (i, batch) in batches.iter().enumerate() {
+        victim.reoptimize(batch);
+        if i == 1 {
+            victim.checkpoint_durable().unwrap();
+        }
+    }
+    drop(victim);
+    std::fs::write(dir.join(tmp_name), b"torn half-written snapshot").unwrap();
+    let (rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+    assert_eq!(out.recovery.path, RecoveryPath::RestoredFromCheckpoint);
+    assert!(out.cost.approx_eq(oracle.best_cost()));
+    assert_sinks_match(&rec, &oracle, "recovery next to a torn tmp");
+    assert!(!dir.join(tmp_name).exists(), "orphaned tmp survived recover()");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Crash point B: the very first checkpoint never completed — only
+    // the WAL and the stranded tmp exist. Recovery replays the WAL and
+    // must not mistake the tmp for a checkpoint.
+    let dir = fresh_dir("tmp-sweep-b");
+    let mut victim = DataflowOptimizer::new(&c, q.clone());
+    victim.set_audit_mode(AuditMode::Off);
+    victim.set_durable_dir(&dir).unwrap();
+    victim.optimize();
+    for batch in &batches {
+        victim.reoptimize(batch);
+    }
+    drop(victim);
+    // Stage a *valid* snapshot under the tmp name (cut by a twin in a
+    // scratch dir) — sweeping must win even when the orphan would
+    // parse, because the rename is what commits a checkpoint.
+    let scratch = fresh_dir("tmp-sweep-b-scratch");
+    let mut twin = DataflowOptimizer::new(&c, q.clone());
+    twin.set_audit_mode(AuditMode::Off);
+    twin.set_durable_dir(&scratch).unwrap();
+    twin.optimize();
+    for batch in &batches {
+        twin.reoptimize(batch);
+    }
+    twin.checkpoint_durable().unwrap();
+    drop(twin);
+    std::fs::copy(scratch.join("checkpoint.bin"), dir.join(tmp_name)).unwrap();
+    let _ = std::fs::remove_dir_all(&scratch);
+    let (rec, out) = DataflowOptimizer::recover(&c, q.clone(), &dir).unwrap();
+    assert_eq!(out.recovery.path, RecoveryPath::RebuiltFromScratch);
+    assert!(out.cost.approx_eq(oracle.best_cost()));
+    assert_sinks_match(&rec, &oracle, "WAL-only recovery next to a full tmp");
+    assert!(!dir.join(tmp_name).exists(), "orphaned tmp survived recover()");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Crash point C: arming durability on a directory holding an
+    // orphan (the process died before ever reading it back) sweeps it
+    // too — the sweep is a startup invariant, not a recover() detail.
+    let dir = fresh_dir("tmp-sweep-c");
+    std::fs::write(dir.join(tmp_name), b"stray").unwrap();
+    let mut fresh = DataflowOptimizer::new(&c, q.clone());
+    fresh.set_durable_dir(&dir).unwrap();
+    assert!(!dir.join(tmp_name).exists(), "orphaned tmp survived set_durable_dir()");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Cross-process restart: a child process (fresh interner) warms and
 /// checkpoints a durable optimizer, then exits; the parent — whose
 /// interner is deliberately shifted by decoy strings — recovers from

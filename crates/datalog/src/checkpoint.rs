@@ -201,11 +201,16 @@ impl SymRemap {
         }
     }
 
-    /// Re-interns a decoded symbol table.
-    pub fn from_strings(strings: &[Arc<str>]) -> SymRemap {
-        SymRemap {
-            map: strings.iter().map(|s| Sym::intern(s)).collect(),
+    /// Re-interns a decoded symbol table. Interner exhaustion while
+    /// adopting a foreign table surfaces as
+    /// [`DataflowError::StateCorruption`] (the restore degrades; the
+    /// process does not abort).
+    pub fn from_strings(strings: &[Arc<str>]) -> Result<SymRemap, DataflowError> {
+        let mut map = Vec::with_capacity(strings.len());
+        for s in strings {
+            map.push(Sym::try_intern(s)?);
         }
+        Ok(SymRemap { map })
     }
 
     fn translate(&self, old_id: u64) -> Result<Sym, DataflowError> {
@@ -470,7 +475,7 @@ pub fn decode_symbol_table(payload: &[u8]) -> Result<SymRemap, DataflowError> {
     let n = d.count(4)?;
     let mut map = Vec::with_capacity(n);
     for _ in 0..n {
-        map.push(Sym::intern(d.str()?));
+        map.push(Sym::try_intern(d.str()?)?);
     }
     if !d.is_done() {
         return Err(corrupt("trailing bytes after symbol table"));
@@ -621,7 +626,7 @@ mod tests {
         // different ids: build a remap from an explicit string list and
         // decode a symbol that referenced it by position.
         let foreign: Vec<Arc<str>> = vec![Arc::from("ckpt-b"), Arc::from("ckpt-a")];
-        let remap = SymRemap::from_strings(&foreign);
+        let remap = SymRemap::from_strings(&foreign).unwrap();
         let mut e = Enc::new();
         e.u8(TAG_SYM);
         e.u64(0); // the foreign process's id 0 = "ckpt-b"
@@ -632,7 +637,7 @@ mod tests {
 
     #[test]
     fn out_of_range_symbol_is_corruption_not_panic() {
-        let remap = SymRemap::from_strings(&[]);
+        let remap = SymRemap::from_strings(&[]).unwrap();
         let mut e = Enc::new();
         e.u8(TAG_SYM);
         e.u64(99);

@@ -60,7 +60,16 @@ struct Node {
     /// ([`Operator::coalesces_input`]; inputs always coalesce so
     /// cancelling external deltas die before entering the graph).
     coalesce_input: bool,
+    /// Whether this node's output must reach every consumer within the
+    /// producing dispatch ([`Operator::sync_fanout`]; `Arrange` nodes —
+    /// the shared-index update and the attached joins' probes must be
+    /// atomic with respect to all other scheduling).
+    sync_fanout: bool,
     label: String,
+    /// Lifetime batch/delta counters for [`Dataflow::node_stats`] —
+    /// two adds per serviced batch, cheap enough to keep always-on.
+    stat_batches: u64,
+    stat_deltas: u64,
 }
 
 /// How the fixpoint loop schedules work.
@@ -363,7 +372,7 @@ impl Dataflow {
 
     /// Declares an external input relation.
     pub fn add_input(&mut self, label: &str) -> NodeId {
-        self.push_node(NodeKind::Input, true, label)
+        self.push_node(NodeKind::Input, true, false, label)
     }
 
     /// Adds an operator wired so that `inputs[i]` feeds port `i`.
@@ -377,7 +386,8 @@ impl Dataflow {
         );
         let label = op.name().to_string();
         let coalesce = op.coalesces_input();
-        let id = self.push_node(NodeKind::Op(Box::new(op)), coalesce, &label);
+        let fanout = op.sync_fanout();
+        let id = self.push_node(NodeKind::Op(Box::new(op)), coalesce, fanout, &label);
         for (port, input) in inputs.iter().enumerate() {
             self.connect(*input, id, port);
         }
@@ -389,7 +399,8 @@ impl Dataflow {
     pub fn add_op_unwired(&mut self, op: impl Operator + 'static) -> NodeId {
         let label = op.name().to_string();
         let coalesce = op.coalesces_input();
-        self.push_node(NodeKind::Op(Box::new(op)), coalesce, &label)
+        let fanout = op.sync_fanout();
+        self.push_node(NodeKind::Op(Box::new(op)), coalesce, fanout, &label)
     }
 
     /// Wires `from`'s output into `to`'s input `port`. Cycles are
@@ -427,19 +438,28 @@ impl Dataflow {
     pub fn add_sink(&mut self, from: NodeId) -> SinkId {
         let sink_idx = self.sinks.len();
         self.sinks.push(Multiset::new());
-        let id = self.push_node(NodeKind::Sink(sink_idx), false, "sink");
+        let id = self.push_node(NodeKind::Sink(sink_idx), false, false, "sink");
         self.connect(from, id, 0);
         SinkId(sink_idx)
     }
 
-    fn push_node(&mut self, kind: NodeKind, coalesce_input: bool, label: &str) -> NodeId {
+    fn push_node(
+        &mut self,
+        kind: NodeKind,
+        coalesce_input: bool,
+        sync_fanout: bool,
+        label: &str,
+    ) -> NodeId {
         self.graph_dirty = true;
         self.ranks_dirty = true;
         self.nodes.push(Node {
             kind,
             downstream: Vec::new(),
             coalesce_input,
+            sync_fanout,
             label: label.to_string(),
+            stat_batches: 0,
+            stat_deltas: 0,
         });
         NodeId(self.nodes.len() - 1)
     }
@@ -625,6 +645,17 @@ impl Dataflow {
         absorbed
     }
 
+    /// Per-node lifetime service counters `(label, batches, deltas)` in
+    /// node order — the profiling view behind "where do epochs spend
+    /// their deltas". Counters survive rollbacks (they measure work
+    /// attempted, not work committed).
+    pub fn node_stats(&self) -> Vec<(String, u64, u64)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.label.clone(), n.stat_batches, n.stat_deltas))
+            .collect()
+    }
+
     /// Number of operator nodes absorbed into fused chains so far.
     pub fn fused_node_count(&self) -> usize {
         self.nodes
@@ -742,6 +773,8 @@ impl Dataflow {
             }
             stats.batches_processed += 1;
             stats.deltas_processed += batch.len() as u64;
+            self.nodes[node].stat_batches += 1;
+            self.nodes[node].stat_deltas += batch.len() as u64;
             if stats.deltas_processed > self.max_steps {
                 return Err(DataflowError::FixpointOverrun {
                     steps: self.max_steps,
@@ -810,6 +843,69 @@ impl Dataflow {
                         sink.apply(d);
                     }
                 }
+            }
+            // Sync fanout: the producer (an `Arrange`) requires its batch
+            // to reach every consumer within this same dispatch, so the
+            // shared-index update it just applied and the attached joins'
+            // probes form one atomic step — under any scheduler mode.
+            // Each consumer's own output is routed recursively; recursion
+            // depth is bounded by the number of arrange nodes on an
+            // acyclic path (consumers themselves enqueue normally).
+            if self.nodes[node].sync_fanout {
+                let mut result = Ok(());
+                for &(target, tport) in &downstream {
+                    if matches!(
+                        self.nodes[target].kind,
+                        NodeKind::Sink(_) | NodeKind::Fused
+                    ) {
+                        continue; // sinks absorbed above
+                    }
+                    stats.batches_processed += 1;
+                    stats.deltas_processed += out.len() as u64;
+                    if stats.deltas_processed > self.max_steps {
+                        result = Err(DataflowError::FixpointOverrun {
+                            steps: self.max_steps,
+                        });
+                        break;
+                    }
+                    if armed {
+                        let step = stats.deltas_processed;
+                        if let Some(plan) = self.fault_plan.as_mut() {
+                            if plan.fire(step) {
+                                result = Err(DataflowError::InjectedFault { step });
+                                break;
+                            }
+                        }
+                    }
+                    let mut fan_out: Vec<Delta> = Vec::new();
+                    let status = match &mut self.nodes[target].kind {
+                        NodeKind::Op(op) if op.is_passthrough() => {
+                            assert!(tport < op.arity(), "port {tport} out of range");
+                            fan_out.extend(out.iter().cloned());
+                            Ok(())
+                        }
+                        NodeKind::Op(op) => op.on_batch(tport, out, &mut fan_out),
+                        NodeKind::Input => {
+                            fan_out.extend(out.iter().cloned());
+                            Ok(())
+                        }
+                        NodeKind::Sink(_) | NodeKind::Fused => unreachable!(),
+                    };
+                    if let Err(e) = status {
+                        result = Err(e);
+                        break;
+                    }
+                    let mut sub_chain: Vec<Delta> = Vec::new();
+                    if let Err(e) =
+                        self.dispatch(target, &mut fan_out, &mut sub_chain, stats, armed)
+                    {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                self.nodes[node].downstream = downstream;
+                out.clear();
+                return result;
             }
             let mut non_sink = downstream
                 .iter()
@@ -884,6 +980,18 @@ impl Dataflow {
 
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Appends `suffix` to the display label of every node from index
+    /// `first` on (e.g. the compiler tags each rule's operators with
+    /// the rule label, so profiling output reads `join[D8]` instead of
+    /// a bare `join`).
+    pub fn label_suffix_from(&mut self, first: usize, suffix: &str) {
+        for n in &mut self.nodes[first..] {
+            n.label.push('[');
+            n.label.push_str(suffix);
+            n.label.push(']');
+        }
     }
 
     /// Serializes the dataflow's durable state — every stateful

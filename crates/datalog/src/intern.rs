@@ -15,9 +15,25 @@
 //! network is a small closed set (operator names, relation tags), so the
 //! table only ever holds a few dozen entries.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use reopt_common::FxHashMap;
+
+use crate::error::DataflowError;
+
+/// Upper bound on distinct interned strings. Defaults to the id space
+/// (`u32::MAX`); tests lower it to exercise the exhaustion path without
+/// interning four billion strings.
+static CAPACITY: AtomicU32 = AtomicU32::new(u32::MAX);
+
+/// Overrides the interner's capacity (test hook for the exhaustion
+/// path). The table is process-global, so callers must restore the
+/// previous value — run such tests in their own process (a separate
+/// integration-test binary) to avoid starving unrelated tests.
+pub fn set_intern_capacity(cap: u32) -> u32 {
+    CAPACITY.swap(cap, Ordering::SeqCst)
+}
 
 /// An interned string: a dense index into the global symbol table.
 /// Equality and hashing are by index; ordering resolves to the
@@ -47,20 +63,38 @@ fn interner() -> MutexGuard<'static, Interner> {
 }
 
 impl Sym {
-    /// Interns `s`, returning its symbol (idempotent).
+    /// Interns `s`, returning its symbol (idempotent). Panics on id
+    /// exhaustion; use [`Sym::try_intern`] on paths (checkpoint restore,
+    /// bulk symbol adoption) that must degrade instead of aborting.
     pub fn intern(s: &str) -> Sym {
+        Sym::try_intern(s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Interns `s`, surfacing id exhaustion as
+    /// [`DataflowError::StateCorruption`] so callers can route it
+    /// through the rollback/degradation ladder instead of aborting the
+    /// process.
+    pub fn try_intern(s: &str) -> Result<Sym, DataflowError> {
         let mut t = interner();
         if let Some(&id) = t.by_str.get(s) {
-            return Sym(id);
+            return Ok(Sym(id));
         }
         // Ids are packed into 32-bit words inside tuples; guard the
         // cast so an id can never silently wrap near `u32::MAX`.
-        let id = u32::try_from(t.strings.len())
-            .expect("interner overflow: more than u32::MAX distinct strings");
+        let next = t.strings.len();
+        let cap = CAPACITY.load(Ordering::SeqCst);
+        let id = u32::try_from(next)
+            .ok()
+            .filter(|&id| id < cap)
+            .ok_or_else(|| {
+                DataflowError::StateCorruption(format!(
+                    "interner exhausted: {next} distinct strings at capacity {cap}"
+                ))
+            })?;
         let arc: Arc<str> = Arc::from(s);
         t.strings.push(arc.clone());
         t.by_str.insert(arc, id);
-        Sym(id)
+        Ok(Sym(id))
     }
 
     /// The interned string. Panics on an id that was never produced by

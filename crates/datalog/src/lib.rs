@@ -46,9 +46,10 @@ pub use agg::{AggKind, OrderedMultiset};
 pub use dataflow::{Dataflow, NodeId, RunStats, SchedulerMode, SinkId};
 pub use error::{DataflowError, FaultPlan};
 pub use delta::{coalesce, CoalesceScratch, Delta};
-pub use intern::Sym;
+pub use intern::{set_intern_capacity, Sym};
 pub use ops::{
-    Distinct, ExternalFn, FuseStage, Fused, GroupAgg, HashJoin, Map, OpCounters, Operator, Union,
+    Arrange, Distinct, ExternalFn, FuseStage, Fused, GroupAgg, HashJoin, Map, OpCounters, Operator,
+    Union,
 };
-pub use relation::{IndexedMultiset, Multiset};
+pub use relation::{ArrangementHandle, IndexedMultiset, Multiset};
 pub use value::{Tuple, Val};

@@ -17,7 +17,7 @@ use reopt_common::FxHashMap;
 use crate::agg::{AggKind, OrderedMultiset};
 use crate::delta::Delta;
 use crate::error::DataflowError;
-use crate::relation::{IndexedMultiset, Multiset, Visibility};
+use crate::relation::{ArrangementHandle, IndexedMultiset, Multiset, Visibility};
 use crate::value::{Tuple, Val};
 
 /// Per-operator work counters, drained by the scheduler into
@@ -108,6 +108,19 @@ pub trait Operator {
     /// `true` must also yield its stages from
     /// [`Operator::take_fuse_stages`].
     fn fusable(&self) -> bool {
+        false
+    }
+
+    /// True if the scheduler must deliver this operator's emitted batch
+    /// to every downstream consumer *synchronously, within the producing
+    /// dispatch* — before any other queued batch is serviced — instead
+    /// of enqueueing per-edge copies. [`Arrange`] requires this: its
+    /// `on_batch` has already applied the batch to the shared index, and
+    /// attached joins skip their own apply, so the index update and
+    /// every attached probe must be atomic with respect to all other
+    /// scheduling (an interleaved batch on a join's opposite port would
+    /// otherwise double-count `ΔL ⋈ ΔR`).
+    fn sync_fanout(&self) -> bool {
         false
     }
 
@@ -450,8 +463,8 @@ impl Operator for Fused {
 /// rather than delta order — invisible at the fixpoint, where sinks and
 /// downstream state are multisets.
 pub struct HashJoin {
-    left: IndexedMultiset,
-    right: IndexedMultiset,
+    left: Side,
+    right: Side,
     /// Fused output projection: columns of the virtual `left ++ right`
     /// concatenation. `None` emits the full concatenation.
     proj: Option<Vec<usize>>,
@@ -463,6 +476,38 @@ pub struct HashJoin {
     counters: OpCounters,
 }
 
+/// One port's state: a private index, or an attachment to a shared
+/// [`ArrangementHandle`] maintained by an upstream [`Arrange`] node.
+/// A shared port's deltas arrive *already applied* to the index (the
+/// `Arrange` applies, then fans out synchronously), so the join only
+/// probes; its epoch and checkpoint lifecycles likewise belong to the
+/// owning `Arrange`, never to the attached joins.
+enum Side {
+    Owned(IndexedMultiset),
+    Shared {
+        handle: ArrangementHandle,
+        /// Copy of the arrangement's key columns, so hashing a delta's
+        /// key needs no `RefCell` borrow.
+        key_cols: Vec<usize>,
+    },
+}
+
+impl Side {
+    fn key_cols(&self) -> &[usize] {
+        match self {
+            Side::Owned(m) => m.key_cols(),
+            Side::Shared { key_cols, .. } => key_cols,
+        }
+    }
+
+    fn total_tuples(&self) -> usize {
+        match self {
+            Side::Owned(m) => m.total_tuples(),
+            Side::Shared { handle, .. } => handle.read().total_tuples(),
+        }
+    }
+}
+
 impl HashJoin {
     pub fn new(left_key: Vec<usize>, right_key: Vec<usize>) -> HashJoin {
         assert_eq!(
@@ -471,8 +516,8 @@ impl HashJoin {
             "join key arity must match"
         );
         HashJoin {
-            left: IndexedMultiset::new(left_key),
-            right: IndexedMultiset::new(right_key),
+            left: Side::Owned(IndexedMultiset::new(left_key)),
+            right: Side::Owned(IndexedMultiset::new(right_key)),
             proj: None,
             by_key: Vec::new(),
             hits: Vec::new(),
@@ -492,6 +537,40 @@ impl HashJoin {
         let mut j = HashJoin::new(left_key, right_key);
         j.proj = Some(proj);
         j
+    }
+
+    /// Attaches the left port to a shared arrangement instead of a
+    /// private index. Port 0 must then be wired to the owning
+    /// [`Arrange`] node (the port's deltas must be exactly the
+    /// arrangement's maintenance stream). The arrangement's key must
+    /// equal the join's left key, and it must not also feed the right
+    /// port.
+    pub fn share_left(mut self, handle: ArrangementHandle) -> HashJoin {
+        self.left = Self::attach(handle, &self.left, &self.right);
+        self
+    }
+
+    /// [`HashJoin::share_left`], for the right port.
+    pub fn share_right(mut self, handle: ArrangementHandle) -> HashJoin {
+        self.right = Self::attach(handle, &self.right, &self.left);
+        self
+    }
+
+    fn attach(handle: ArrangementHandle, this: &Side, opposite: &Side) -> Side {
+        let key_cols = this.key_cols().to_vec();
+        assert_eq!(
+            handle.key_cols(),
+            key_cols,
+            "arrangement key must match the join port's key columns"
+        );
+        if let Side::Shared { handle: other, .. } = opposite {
+            assert!(
+                !handle.same_index(other),
+                "one arrangement must not feed both ports of a join \
+                 (the bilinear form would double-count Δ²)"
+            );
+        }
+        Side::Shared { handle, key_cols }
     }
 
     pub fn state_size(&self) -> usize {
@@ -632,6 +711,107 @@ fn probe_batch(
     }
 }
 
+/// The probe-only path for a *shared* port: the upstream [`Arrange`]
+/// has already applied the batch to the shared index, so only the
+/// probes against the other side remain. Same key-grouping as
+/// [`probe_batch`]; `own_key` is the shared side's key columns.
+#[allow(clippy::too_many_arguments)]
+fn probe_shared(
+    own_key: &[usize],
+    other: &IndexedMultiset,
+    deltas: &[Delta],
+    out: &mut Vec<Delta>,
+    by_key: &mut Vec<(u64, u32)>,
+    hits: &mut Vec<(Tuple, i64)>,
+    counters: &mut OpCounters,
+    delta_is_left: bool,
+    proj: &Option<Vec<usize>>,
+) {
+    if let [delta] = deltas {
+        if delta.count == 0 {
+            return;
+        }
+        let h = delta.tuple.hash_cols(own_key);
+        counters.join_probe_deltas += 1;
+        counters.join_probes += 1;
+        for (t, c) in other.matches_hashed(h, &delta.tuple, own_key) {
+            let count = delta.count * c;
+            if count != 0 {
+                out.push(Delta::with_count(join_output(&delta.tuple, t, delta_is_left, proj), count));
+            }
+        }
+        return;
+    }
+    by_key.clear();
+    for (i, delta) in deltas.iter().enumerate() {
+        if delta.count == 0 {
+            continue;
+        }
+        by_key.push((delta.tuple.hash_cols(own_key), i as u32));
+    }
+    counters.join_probe_deltas += by_key.len() as u64;
+    by_key.sort_unstable();
+    let mut g = 0;
+    while g < by_key.len() {
+        let (h, first) = by_key[g];
+        let mut end = g + 1;
+        while end < by_key.len() && by_key[end].0 == h {
+            end += 1;
+        }
+        let rep = &deltas[first as usize].tuple;
+        counters.join_probes += 1;
+        if end - g == 1 {
+            let delta = &deltas[first as usize];
+            for (t, c) in other.matches_hashed(h, rep, own_key) {
+                let count = delta.count * c;
+                if count != 0 {
+                    out.push(Delta::with_count(
+                        join_output(&delta.tuple, t, delta_is_left, proj),
+                        count,
+                    ));
+                }
+            }
+            g = end;
+            continue;
+        }
+        hits.clear();
+        hits.extend(
+            other
+                .matches_hashed(h, rep, own_key)
+                .map(|(t, c)| (t.clone(), c)),
+        );
+        if !hits.is_empty() {
+            out.reserve(hits.len() * (end - g));
+        }
+        for &(_, di) in &by_key[g..end] {
+            let delta = &deltas[di as usize];
+            if di != first && !delta.tuple.cols_eq(own_key, rep, own_key) {
+                counters.join_probes += 1;
+                for (t, c) in other.matches_hashed(h, &delta.tuple, own_key) {
+                    let count = delta.count * c;
+                    if count != 0 {
+                        out.push(Delta::with_count(
+                            join_output(&delta.tuple, t, delta_is_left, proj),
+                            count,
+                        ));
+                    }
+                }
+                continue;
+            }
+            for (t, c) in hits.iter() {
+                let count = delta.count * c;
+                if count != 0 {
+                    out.push(Delta::with_count(
+                        join_output(&delta.tuple, t, delta_is_left, proj),
+                        count,
+                    ));
+                }
+            }
+        }
+        g = end;
+    }
+}
+
 impl Operator for HashJoin {
     fn on_batch(
         &mut self,
@@ -639,30 +819,53 @@ impl Operator for HashJoin {
         deltas: &[Delta],
         out: &mut Vec<Delta>,
     ) -> Result<(), DataflowError> {
-        match port {
-            0 => probe_batch(
-                &mut self.left,
-                &self.right,
-                deltas,
-                out,
-                &mut self.by_key,
-                &mut self.hits,
-                &mut self.counters,
-                true,
-                &self.proj,
-            ),
-            1 => probe_batch(
-                &mut self.right,
-                &self.left,
-                deltas,
-                out,
-                &mut self.by_key,
-                &mut self.hits,
-                &mut self.counters,
-                false,
-                &self.proj,
-            ),
+        let HashJoin {
+            left,
+            right,
+            proj,
+            by_key,
+            hits,
+            counters,
+        } = self;
+        let (own, other, delta_is_left) = match port {
+            0 => (left, &*right, true),
+            1 => (right, &*left, false),
             p => panic!("join has 2 ports, got {p}"),
+        };
+        // A shared other side is borrowed for the whole batch — the
+        // owning Arrange's mutable borrow ended before its output
+        // fanned out here, so the read borrow cannot conflict.
+        let guard;
+        let other_index: &IndexedMultiset = match other {
+            Side::Owned(m) => m,
+            Side::Shared { handle, .. } => {
+                guard = handle.read();
+                &guard
+            }
+        };
+        match own {
+            Side::Owned(m) => probe_batch(
+                m,
+                other_index,
+                deltas,
+                out,
+                by_key,
+                hits,
+                counters,
+                delta_is_left,
+                proj,
+            ),
+            Side::Shared { key_cols, .. } => probe_shared(
+                key_cols,
+                other_index,
+                deltas,
+                out,
+                by_key,
+                hits,
+                counters,
+                delta_is_left,
+                proj,
+            ),
         }
         Ok(())
     }
@@ -671,40 +874,143 @@ impl Operator for HashJoin {
         2
     }
 
+    // Epoch hooks touch only the owned sides: a shared index is
+    // journaled, committed and rolled back exactly once, by its owning
+    // `Arrange` node.
     fn begin_epoch(&mut self) {
-        self.left.begin_epoch();
-        self.right.begin_epoch();
+        if let Side::Owned(m) = &mut self.left {
+            m.begin_epoch();
+        }
+        if let Side::Owned(m) = &mut self.right {
+            m.begin_epoch();
+        }
     }
 
     fn commit_epoch(&mut self) {
-        self.left.commit_epoch();
-        self.right.commit_epoch();
+        if let Side::Owned(m) = &mut self.left {
+            m.commit_epoch();
+        }
+        if let Side::Owned(m) = &mut self.right {
+            m.commit_epoch();
+        }
     }
 
     fn rollback_epoch(&mut self) {
-        self.left.rollback_epoch();
-        self.right.rollback_epoch();
+        if let Side::Owned(m) = &mut self.left {
+            m.rollback_epoch();
+        }
+        if let Side::Owned(m) = &mut self.right {
+            m.rollback_epoch();
+        }
     }
 
     fn take_counters(&mut self) -> OpCounters {
         std::mem::take(&mut self.counters)
     }
 
+    // Checkpoints carry only the owned sides (in port order); a shared
+    // index is serialized once, by its owning `Arrange`. Sharing is
+    // structural — the restore target was built with the same `Side`
+    // layout — so the payloads line up without tagging.
     fn checkpoint_state(&self, out: &mut crate::checkpoint::Enc) {
-        crate::checkpoint::encode_indexed(out, &self.left);
-        crate::checkpoint::encode_indexed(out, &self.right);
+        if let Side::Owned(m) = &self.left {
+            crate::checkpoint::encode_indexed(out, m);
+        }
+        if let Side::Owned(m) = &self.right {
+            crate::checkpoint::encode_indexed(out, m);
+        }
     }
 
     fn restore_state(
         &mut self,
         input: &mut crate::checkpoint::Dec<'_>,
     ) -> Result<(), DataflowError> {
-        crate::checkpoint::decode_indexed(input, &mut self.left)?;
-        crate::checkpoint::decode_indexed(input, &mut self.right)
+        if let Side::Owned(m) = &mut self.left {
+            crate::checkpoint::decode_indexed(input, m)?;
+        }
+        if let Side::Owned(m) = &mut self.right {
+            crate::checkpoint::decode_indexed(input, m)?;
+        }
+        Ok(())
     }
 
     fn name(&self) -> &str {
         "join"
+    }
+}
+
+/// Maintains a shared [`ArrangementHandle`] — differential dataflow's
+/// *arrange* operator. Applies each batch to the shared index exactly
+/// once, then forwards the deltas verbatim; downstream [`HashJoin`]s
+/// attached via `share_left`/`share_right` probe the index without
+/// re-applying. Requires [`Operator::sync_fanout`] scheduling: the
+/// apply above and every attached probe happen atomically within one
+/// dispatch, so no other batch can interleave between the index update
+/// and the probes it pairs with.
+pub struct Arrange {
+    handle: ArrangementHandle,
+}
+
+impl Arrange {
+    pub fn new(key_cols: Vec<usize>) -> Arrange {
+        Arrange {
+            handle: ArrangementHandle::new(key_cols),
+        }
+    }
+
+    /// The shared handle, for attaching joins.
+    pub fn handle(&self) -> ArrangementHandle {
+        self.handle.clone()
+    }
+}
+
+impl Operator for Arrange {
+    fn on_batch(
+        &mut self,
+        _port: usize,
+        deltas: &[Delta],
+        out: &mut Vec<Delta>,
+    ) -> Result<(), DataflowError> {
+        let mut index = self.handle.write();
+        for delta in deltas {
+            if delta.count == 0 {
+                continue;
+            }
+            index.apply(delta);
+            out.push(delta.clone());
+        }
+        Ok(())
+    }
+
+    fn sync_fanout(&self) -> bool {
+        true
+    }
+
+    fn begin_epoch(&mut self) {
+        self.handle.write().begin_epoch();
+    }
+
+    fn commit_epoch(&mut self) {
+        self.handle.write().commit_epoch();
+    }
+
+    fn rollback_epoch(&mut self) {
+        self.handle.write().rollback_epoch();
+    }
+
+    fn checkpoint_state(&self, out: &mut crate::checkpoint::Enc) {
+        crate::checkpoint::encode_indexed(out, &self.handle.read());
+    }
+
+    fn restore_state(
+        &mut self,
+        input: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<(), DataflowError> {
+        crate::checkpoint::decode_indexed(input, &mut self.handle.write())
+    }
+
+    fn name(&self) -> &str {
+        "arrange"
     }
 }
 
@@ -734,6 +1040,10 @@ pub struct GroupAgg {
     /// Nothing pre-existed at `begin_epoch`: rollback is truncation,
     /// per-delta journaling is skipped.
     was_empty: bool,
+    /// Batch scratch: `(key, value, count)` rows, sorted by (key,
+    /// value) so each group is touched once and same-value deltas merge
+    /// into one BTree update.
+    batch_rows: Vec<(Tuple, Val, i64)>,
 }
 
 /// One group's state plus its per-batch bookkeeping (the aggregate
@@ -757,6 +1067,7 @@ impl GroupAgg {
             journal: Vec::new(),
             recording: false,
             was_empty: false,
+            batch_rows: Vec::new(),
         }
     }
 
@@ -776,26 +1087,74 @@ impl Operator for GroupAgg {
     ) -> Result<(), DataflowError> {
         self.touched.clear();
         self.generation += 1;
-        for delta in deltas {
-            if delta.count == 0 {
-                continue;
+        if deltas.len() == 1 {
+            // Per-delta trickle (all of per-delta mode): skip the sort.
+            for delta in deltas {
+                if delta.count == 0 {
+                    continue;
+                }
+                let key = delta.tuple.project(&self.key_cols);
+                let value = delta.tuple.get(self.value_col);
+                if self.recording {
+                    self.journal.push((key.clone(), value, delta.count));
+                }
+                let group = self.groups.entry(key.clone()).or_insert_with(|| Group {
+                    state: OrderedMultiset::new(),
+                    stamp: 0,
+                    before: None,
+                });
+                if group.stamp != self.generation {
+                    group.stamp = self.generation;
+                    group.before = group.state.aggregate(self.kind);
+                    self.touched.push(key);
+                }
+                group.state.update(value, delta.count);
             }
-            let key = delta.tuple.project(&self.key_cols);
-            let value = delta.tuple.get(self.value_col);
-            if self.recording {
-                self.journal.push((key.clone(), value, delta.count));
+        } else {
+            // Batch path: sort the batch by (key, value) so each group
+            // costs one map lookup and one `before` capture, and each
+            // distinct value one BTree update with the run's summed
+            // count (instead of per-delta map + tree traffic).
+            self.batch_rows.clear();
+            self.batch_rows.extend(deltas.iter().filter(|d| d.count != 0).map(|d| {
+                (
+                    d.tuple.project(&self.key_cols),
+                    d.tuple.get(self.value_col),
+                    d.count,
+                )
+            }));
+            self.batch_rows
+                .sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let rows = &self.batch_rows;
+            let mut i = 0;
+            while i < rows.len() {
+                let key = &rows[i].0;
+                let group = self.groups.entry(key.clone()).or_insert_with(|| Group {
+                    state: OrderedMultiset::new(),
+                    stamp: 0,
+                    before: None,
+                });
+                if group.stamp != self.generation {
+                    group.stamp = self.generation;
+                    group.before = group.state.aggregate(self.kind);
+                    self.touched.push(key.clone());
+                }
+                while i < rows.len() && rows[i].0 == *key {
+                    let value = rows[i].1;
+                    let mut count = 0;
+                    while i < rows.len() && rows[i].0 == *key && rows[i].1 == value {
+                        count += rows[i].2;
+                        i += 1;
+                    }
+                    if count == 0 {
+                        continue;
+                    }
+                    if self.recording {
+                        self.journal.push((key.clone(), value, count));
+                    }
+                    group.state.update(value, count);
+                }
             }
-            let group = self.groups.entry(key.clone()).or_insert_with(|| Group {
-                state: OrderedMultiset::new(),
-                stamp: 0,
-                before: None,
-            });
-            if group.stamp != self.generation {
-                group.stamp = self.generation;
-                group.before = group.state.aggregate(self.kind);
-                self.touched.push(key);
-            }
-            group.state.update(value, delta.count);
         }
         for key in self.touched.drain(..) {
             let group = &self.groups[&key];

@@ -5,6 +5,9 @@
 //! tuple value a (possibly temporarily negative) count ... A tuple only
 //! affects the output of a stateful operator if its count is positive."
 
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
 use reopt_common::FxHashMap;
 
 use crate::delta::Delta;
@@ -533,6 +536,54 @@ impl IndexedMultiset {
         for (tuple, count) in journal.into_iter().rev() {
             self.apply(&Delta::with_count(tuple, -count));
         }
+    }
+}
+
+/// A shared, keyed index over one relation — differential dataflow's
+/// *arrangement*. The index is maintained exactly once per epoch by a
+/// single [`crate::ops::Arrange`] operator (the sole writer) and probed
+/// read-only by every [`crate::ops::HashJoin`] attached to it via
+/// `share_left`/`share_right`, replacing the per-join [`IndexedMultiset`]
+/// copies that would otherwise each re-apply the same deltas.
+///
+/// Epoch journaling, checkpointing and restore of the shared index are
+/// the owning `Arrange`'s responsibility; attached joins treat the
+/// handle as immutable state and never open a mutable borrow.
+#[derive(Clone, Debug)]
+pub struct ArrangementHandle {
+    inner: Rc<RefCell<IndexedMultiset>>,
+}
+
+impl ArrangementHandle {
+    pub fn new(key_cols: Vec<usize>) -> ArrangementHandle {
+        ArrangementHandle {
+            inner: Rc::new(RefCell::new(IndexedMultiset::new(key_cols))),
+        }
+    }
+
+    /// Read-only access for probing. Panics if the owning `Arrange` is
+    /// mid-mutation — impossible under the scheduler's dispatch
+    /// discipline (the writer's borrow ends before its output fans
+    /// out).
+    pub fn read(&self) -> Ref<'_, IndexedMultiset> {
+        self.inner.borrow()
+    }
+
+    /// Mutable access for the owning [`crate::ops::Arrange`] only.
+    pub fn write(&self) -> RefMut<'_, IndexedMultiset> {
+        self.inner.borrow_mut()
+    }
+
+    /// The key columns the arrangement is indexed on.
+    pub fn key_cols(&self) -> Vec<usize> {
+        self.read().key_cols().to_vec()
+    }
+
+    /// True if both handles alias the *same* index. A join must never
+    /// attach one arrangement to both of its ports (the bilinear form
+    /// would double-count Δ²); builders use this to detect that.
+    pub fn same_index(&self, other: &ArrangementHandle) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
     }
 }
 

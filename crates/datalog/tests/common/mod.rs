@@ -3,11 +3,14 @@
 //! scheduler/fusion mode, plus set-like input event streams.
 #![allow(dead_code)]
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
 
 use reopt_datalog::value::{Tuple, Val};
 use reopt_datalog::{
-    AggKind, Dataflow, Distinct, GroupAgg, HashJoin, Map, NodeId, SchedulerMode, SinkId, Union,
+    AggKind, Arrange, ArrangementHandle, Dataflow, Distinct, GroupAgg, HashJoin, Map, NodeId,
+    SchedulerMode, SinkId, Union,
 };
 
 /// One randomly generated operator stage. Input indices select from the
@@ -61,17 +64,24 @@ pub fn net_gen(max_stages: usize) -> impl Strategy<Value = NetGen> {
     })
 }
 
-/// Instantiates the described network under one scheduler/fusion mode.
+/// Instantiates the described network under one scheduler/fusion/
+/// arrangement-sharing mode. With `sharing` on, every join input gets
+/// an [`Arrange`] node (keyed on column 0, deduplicated per source
+/// node) and the join attaches the shared index instead of building an
+/// owned copy — except a self-join's right side, which stays owned (the
+/// same arrangement must never feed both ports of one join).
 pub fn build(
     gen: &NetGen,
     mode: SchedulerMode,
     fusion: bool,
+    sharing: bool,
 ) -> (Dataflow, [NodeId; 2], Vec<SinkId>) {
     let mut df = Dataflow::with_mode(mode);
     df.set_fusion(fusion);
     let inputs = [df.add_input("r"), df.add_input("s")];
     let mut pool: Vec<NodeId> = inputs.to_vec();
     let mut sinks = Vec::new();
+    let mut arrangements: HashMap<NodeId, (NodeId, ArrangementHandle)> = HashMap::new();
     let last = gen.stages.len() - 1;
     for (i, stage) in gen.stages.iter().enumerate() {
         let pick = |sel: u8| pool[sel as usize % pool.len()];
@@ -93,12 +103,39 @@ pub fn build(
                     &[pick(*a)],
                 )
             }
-            StageGen::Join(a, b) => df.add_op(
+            StageGen::Join(a, b) => {
+                let (l, r) = (pick(*a), pick(*b));
                 // Key on column 0; project the virtual concat back to a
                 // binary tuple (left payload, right payload).
-                HashJoin::with_projection(vec![0], vec![0], vec![1, 3]),
-                &[pick(*a), pick(*b)],
-            ),
+                let join = HashJoin::with_projection(vec![0], vec![0], vec![1, 3]);
+                if sharing {
+                    let (l_node, l_handle) = arrangements
+                        .entry(l)
+                        .or_insert_with(|| {
+                            let op = Arrange::new(vec![0]);
+                            let h = op.handle();
+                            (df.add_op(op, &[l]), h)
+                        })
+                        .clone();
+                    let join = join.share_left(l_handle);
+                    let (join, r_node) = if r == l {
+                        (join, r)
+                    } else {
+                        let (r_node, r_handle) = arrangements
+                            .entry(r)
+                            .or_insert_with(|| {
+                                let op = Arrange::new(vec![0]);
+                                let h = op.handle();
+                                (df.add_op(op, &[r]), h)
+                            })
+                            .clone();
+                        (join.share_right(r_handle), r_node)
+                    };
+                    df.add_op(join, &[l_node, r_node])
+                } else {
+                    df.add_op(join, &[l, r])
+                }
+            }
             StageGen::Union(a, b) => df.add_op(Union::new(2), &[pick(*a), pick(*b)]),
             StageGen::Distinct(a) => df.add_op(Distinct::new(), &[pick(*a)]),
             StageGen::Agg(a, kind) => {

@@ -92,24 +92,25 @@ proptest! {
         evts in events(24),
         run_every in 1usize..6,
         split_sel in any::<u16>(),
+        sharing in any::<bool>(),
     ) {
         let ops = effective_ops(&evts);
         let split = split_sel as usize % (ops.len() + 1);
         for (mode, fusion) in MATRIX {
             // Uninterrupted oracle.
-            let (mut oracle, o_in, o_sinks) = build(&gen, mode, fusion);
+            let (mut oracle, o_in, o_sinks) = build(&gen, mode, fusion, sharing);
             drive(&mut oracle, &o_in, &ops, 0..ops.len(), run_every);
             oracle.run().unwrap();
 
             // Victim: runs to `split`, checkpoints, dies.
-            let (mut victim, v_in, _) = build(&gen, mode, fusion);
+            let (mut victim, v_in, _) = build(&gen, mode, fusion, sharing);
             drive(&mut victim, &v_in, &ops, 0..split, run_every);
             let bytes = victim.checkpoint();
             let epoch_at_crash = victim.epoch();
             drop(victim);
 
             // Survivor: fresh graph, restore, replay the tail.
-            let (mut survivor, s_in, s_sinks) = build(&gen, mode, fusion);
+            let (mut survivor, s_in, s_sinks) = build(&gen, mode, fusion, sharing);
             let restored_epoch = survivor.restore(&bytes).unwrap();
             prop_assert_eq!(restored_epoch, epoch_at_crash);
             drive(&mut survivor, &s_in, &ops, split..ops.len(), run_every);
@@ -143,14 +144,15 @@ proptest! {
         evts in events(16),
         byte_sel in any::<u32>(),
         bit in 0u8..8,
+        sharing in any::<bool>(),
     ) {
         let ops = effective_ops(&evts);
-        let (mut df, inputs, _) = build(&gen, SchedulerMode::Batched, true);
+        let (mut df, inputs, _) = build(&gen, SchedulerMode::Batched, true, sharing);
         drive(&mut df, &inputs, &ops, 0..ops.len(), 1);
         let mut bytes = df.checkpoint();
         let at = byte_sel as usize % bytes.len();
         bytes[at] ^= 1 << bit;
-        let (mut fresh, _, _) = build(&gen, SchedulerMode::Batched, true);
+        let (mut fresh, _, _) = build(&gen, SchedulerMode::Batched, true, sharing);
         prop_assert!(
             matches!(fresh.restore(&bytes), Err(DataflowError::StateCorruption(_))),
             "flip of bit {} at byte {}/{} slipped through", bit, at, bytes.len()

@@ -1,13 +1,15 @@
 //! Differential harness for the scheduler-mode matrix: random operator
 //! networks (joins, maps, unions, distinct, grouped aggregation) are
-//! executed under all of {`Batched`, `Batched`+fusion, `PerDelta`} and
-//! must produce identical sink multisets — counts included — with zero
-//! residual negative counts at every fixpoint.
+//! executed under all of {`Batched`, `Batched`+fusion, `PerDelta`},
+//! each with and without shared arrangements, and must produce
+//! identical sink multisets — counts included — with zero residual
+//! negative counts at every fixpoint.
 //!
 //! This pins the tentpole invariant of the batched/fused substrate: the
-//! scheduler's service order, batch grouping, probe sharing, chain
-//! fusion and coalescing are *performance* choices; the per-delta FIFO
-//! execution remains the semantic reference.
+//! scheduler's service order, batch grouping, probe sharing, shared
+//! arrangements, chain fusion and coalescing are *performance* choices;
+//! the per-delta FIFO execution with owned per-join indexes remains the
+//! semantic reference.
 
 use proptest::prelude::*;
 
@@ -31,12 +33,18 @@ proptest! {
         run_every in 1usize..6,
     ) {
         let matrix = [
-            (SchedulerMode::Batched, false),
-            (SchedulerMode::Batched, true),
-            (SchedulerMode::PerDelta, false),
+            (SchedulerMode::Batched, false, false),
+            (SchedulerMode::Batched, true, false),
+            (SchedulerMode::PerDelta, false, false),
+            // Arrangement-sharing variants: every join probes shared
+            // indexes maintained once per source; must be
+            // observationally identical to per-join owned indexes.
+            (SchedulerMode::Batched, false, true),
+            (SchedulerMode::Batched, true, true),
+            (SchedulerMode::PerDelta, false, true),
         ];
         let mut nets: Vec<(Dataflow, [NodeId; 2], Vec<SinkId>)> =
-            matrix.iter().map(|&(m, f)| build(&gen, m, f)).collect();
+            matrix.iter().map(|&(m, f, s)| build(&gen, m, f, s)).collect();
         // Set-like inputs (delete only present tuples) keep every
         // operator's fixpoint state non-negative.
         let mut live: [Vec<(i64, i64)>; 2] = [Vec::new(), Vec::new()];
